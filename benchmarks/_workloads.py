@@ -1,0 +1,97 @@
+"""Shared, deterministic workloads for the experiment suite.
+
+Every experiment in EXPERIMENTS.md draws its inputs from here so that the
+pytest-benchmark targets and the printable report (``run_all.py``) measure
+exactly the same instances.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.csp.generators import (
+    bounded_treewidth_structure,
+    random_schaefer_target,
+    random_structure,
+    random_two_atom_query,
+)
+from repro.structures.graphs import random_digraph, random_graph
+from repro.structures.structure import Structure
+from repro.structures.vocabulary import Vocabulary
+
+BINARY = Vocabulary.from_arities({"R": 2})
+TERNARY = Vocabulary.from_arities({"T": 3})
+
+
+def boolean_instance(
+    n: int, schaefer_class: str, *, seed: int = 0
+) -> tuple[Structure, Structure]:
+    """A CSP instance with a Schaefer Boolean target.
+
+    The source has ``n`` elements and ``2n`` binary facts; the target's
+    relation is a random relation closed into ``schaefer_class``.
+    """
+    target = random_schaefer_target(BINARY, 3, schaefer_class, seed=seed)
+    source = random_structure(BINARY, n, 2 * n, seed=seed + 1)
+    return source, target
+
+
+def satisfiable_horn_instance(
+    n: int, *, seed: int = 0
+) -> tuple[Structure, Structure]:
+    """A Horn instance guaranteed solvable (target is also 0-valid)."""
+    rng = random.Random(seed)
+    tuples = {(0, 0)}
+    for _ in range(3):
+        tuples.add((rng.randint(0, 1), rng.randint(0, 1)))
+    # close under AND
+    closed = set(tuples)
+    while True:
+        new = {
+            tuple(x & y for x, y in zip(a, b))
+            for a in closed
+            for b in closed
+        }
+        if new <= closed:
+            break
+        closed |= new
+    target = Structure(BINARY, {0, 1}, {"R": closed})
+    source = random_structure(BINARY, n, 2 * n, seed=seed + 1)
+    return source, target
+
+
+def two_coloring_instance(n: int, *, seed: int = 0):
+    """A sparse random graph against K2 (the classic Datalog-expressible
+    CSP)."""
+    from repro.structures.graphs import clique
+
+    return random_graph(n, 2.0 / max(n - 1, 1), seed=seed), clique(2)
+
+
+def c4_instance(n: int, *, seed: int = 0):
+    """A sparse random digraph against the directed 4-cycle of
+    Example 3.8."""
+    from repro.structures.graphs import directed_cycle
+
+    return (
+        random_digraph(n, 1.5 / max(n - 1, 1), seed=seed),
+        directed_cycle(4),
+    )
+
+
+def treewidth_instance(n: int, width: int, *, seed: int = 0):
+    """A width-bounded source with its certificate, against K3."""
+    from repro.structures.graphs import clique
+    from repro.treewidth.decomposition import TreeDecomposition
+
+    structure, bags, tree_edges = bounded_treewidth_structure(
+        n, width, edge_keep_probability=0.9, seed=seed
+    )
+    return structure, clique(3), TreeDecomposition(bags, tree_edges)
+
+
+def containment_pair(size: int, *, seed: int = 0):
+    """A two-atom Q1 with a general Q2, both over ``size`` predicates."""
+    q1 = random_two_atom_query(size, size + 2, seed=seed)
+    q2 = random_two_atom_query(size, size + 2, seed=seed + 999)
+    return q1, q2

@@ -1,0 +1,32 @@
+"""E1 — Theorem 3.1: Schaefer-class recognition is polynomial.
+
+Benchmarks ``classify_structure`` on Boolean targets whose relations have
+a growing number of tuples.  Expected shape: time grows polynomially
+(the closure tests are at most cubic in |R|), never combinatorially.
+"""
+
+import pytest
+
+from repro.boolean.schaefer import classify_structure
+from repro.csp.generators import random_boolean_target
+
+from _workloads import TERNARY
+
+SIZES = [4, 8, 16, 32]
+
+
+@pytest.mark.parametrize("tuples", SIZES)
+def test_recognition_scaling(benchmark, tuples):
+    target = random_boolean_target(TERNARY, tuples, seed=tuples)
+    result = benchmark(classify_structure, target)
+    # sanity: classification is deterministic and total
+    assert result == classify_structure(target)
+
+
+@pytest.mark.parametrize(
+    "closure", ["horn", "dual_horn", "bijunctive", "affine"]
+)
+def test_recognition_per_class(benchmark, closure):
+    target = random_boolean_target(TERNARY, 8, closure=closure, seed=7)
+    classes = benchmark(classify_structure, target)
+    assert classes  # closed targets are recognized as Schaefer

@@ -1,0 +1,54 @@
+"""E2 — Theorem 3.2: defining-formula construction is polynomial.
+
+Benchmarks each of the four constructions on relations of growing arity.
+Expected shape: bijunctive/affine stay comfortably polynomial; the
+Horn/dual-Horn generators walk the truth table, so their cost scales with
+2^arity — polynomial in the Booleanized instances they serve (see the
+module docstring of repro.boolean.formulas).
+"""
+
+import pytest
+
+from repro.boolean.formulas import (
+    affine_defining_formula,
+    bijunctive_defining_formula,
+    dual_horn_defining_formula,
+    horn_defining_formula,
+)
+
+from repro.csp.generators import random_boolean_target
+from repro.structures.vocabulary import Vocabulary
+
+
+def _relation(arity: int, closure: str, seed: int):
+    from repro.boolean.relations import boolean_relations_of
+
+    vocabulary = Vocabulary.from_arities({"R": arity})
+    target = random_boolean_target(vocabulary, 4, closure=closure, seed=seed)
+    return boolean_relations_of(target)["R"]
+
+
+@pytest.mark.parametrize("arity", [2, 4, 6])
+def test_bijunctive_construction(benchmark, arity):
+    relation = _relation(arity, "bijunctive", arity)
+    clauses = benchmark(bijunctive_defining_formula, relation)
+    assert all(len(c) <= 2 for c in clauses)
+
+
+@pytest.mark.parametrize("arity", [2, 4, 6])
+def test_horn_construction(benchmark, arity):
+    relation = _relation(arity, "horn", arity + 10)
+    benchmark(horn_defining_formula, relation)
+
+
+@pytest.mark.parametrize("arity", [2, 4, 6])
+def test_dual_horn_construction(benchmark, arity):
+    relation = _relation(arity, "dual_horn", arity + 20)
+    benchmark(dual_horn_defining_formula, relation)
+
+
+@pytest.mark.parametrize("arity", [2, 4, 6])
+def test_affine_construction(benchmark, arity):
+    relation = _relation(arity, "affine", arity + 30)
+    equations = benchmark(affine_defining_formula, relation)
+    assert len(equations) <= arity + 1

@@ -1,0 +1,39 @@
+"""E5 — Theorem 3.3 (affine): the GF(2) elimination route.
+
+CSP(C4) instances (Example 3.8) Booleanize into affine structures; the
+uniform solver reduces them to GF(2) linear systems.  Benchmarked against
+generic backtracking on the original instances.
+
+Expected shape: the affine route is polynomial (Gaussian elimination,
+cubic worst case) and stays flat while the instances grow; both routes
+agree on every instance.
+"""
+
+import pytest
+
+from repro.boolean.booleanize import booleanize
+from repro.boolean.uniform import solve_schaefer_csp
+from repro.csp.backtracking import solve_backtracking
+from repro.structures.homomorphism import homomorphism_exists
+
+from _workloads import c4_instance
+
+SIZES = [8, 16, 32, 64]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_affine_gf2_route(benchmark, n):
+    source, target = c4_instance(n, seed=n)
+    bz = booleanize(source, target)
+
+    def run():
+        return solve_schaefer_csp(bz.source, bz.target)
+
+    hom = benchmark(run)
+    assert (hom is not None) == homomorphism_exists(source, target)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_backtracking_baseline(benchmark, n):
+    source, target = c4_instance(n, seed=n)
+    benchmark(solve_backtracking, source, target)

@@ -1,0 +1,42 @@
+"""E6 — Lemma 3.5: Booleanization cost and preservation.
+
+Measures (a) the encoding itself (expected: linear-with-log-factor in the
+instance) and (b) end-to-end solving through the Boolean side vs solving
+the original instance directly.
+"""
+
+import pytest
+
+from repro.boolean.booleanize import booleanize
+from repro.boolean.uniform import solve_schaefer_csp
+from repro.csp.backtracking import solve_backtracking
+from repro.structures.homomorphism import homomorphism_exists
+
+from _workloads import c4_instance
+
+SIZES = [8, 16, 32, 64]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_encoding_cost(benchmark, n):
+    source, target = c4_instance(n, seed=n)
+    bz = benchmark(booleanize, source, target)
+    assert bz.bits == 2  # |C4| = 4 elements -> 2 bits
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_end_to_end_boolean_route(benchmark, n):
+    source, target = c4_instance(n, seed=n)
+
+    def run():
+        bz = booleanize(source, target)
+        return solve_schaefer_csp(bz.source, bz.target)
+
+    hom = benchmark(run)
+    assert (hom is not None) == homomorphism_exists(source, target)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_direct_route(benchmark, n):
+    source, target = c4_instance(n, seed=n)
+    benchmark(solve_backtracking, source, target)

@@ -1,0 +1,29 @@
+"""E7 — Proposition 3.6 (Saraiya): polynomial two-atom containment.
+
+Compares the Booleanization→bijunctive pipeline against the general
+(NP-complete) containment test on random two-atom instances of growing
+size.  Expected shape: identical answers; the polynomial route scales
+smoothly; the general route relies on search and may spike.
+"""
+
+import pytest
+
+from repro.cq.containment import contains
+from repro.cq.saraiya import two_atom_contains
+
+from _workloads import containment_pair
+
+SIZES = [2, 4, 6, 8]
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_saraiya_route(benchmark, size):
+    q1, q2 = containment_pair(size, seed=size)
+    result = benchmark(two_atom_contains, q1, q2)
+    assert result == contains(q1, q2)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_general_containment(benchmark, size):
+    q1, q2 = containment_pair(size, seed=size)
+    benchmark(contains, q1, q2)

@@ -1,0 +1,43 @@
+"""E8 — Theorems 4.7/4.9: the existential k-pebble game in O(n^{2k}).
+
+Benchmarks the game solver and the table-based k-consistency variant on
+2-colorability instances for k = 2, 3, growing |A|.  Expected shape:
+polynomial growth with a visible jump from k=2 to k=3 (the exponent is
+2k); for k=3 the game decides the CSP exactly (cCSP(K2) is
+Datalog-expressible), matching backtracking's verdicts.
+"""
+
+import pytest
+
+from repro.csp.backtracking import solve_backtracking
+from repro.pebble.game import solve_pebble_game
+from repro.pebble.kconsistency import strong_k_consistent
+from repro.structures.homomorphism import homomorphism_exists
+
+from _workloads import two_coloring_instance
+
+SIZES = [4, 6, 8]
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("k", [2, 3])
+def test_pebble_game(benchmark, n, k):
+    source, target = two_coloring_instance(n, seed=n)
+    result = benchmark(solve_pebble_game, source, target, k)
+    if k == 3:
+        assert result.duplicator_wins == homomorphism_exists(source, target)
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("k", [2, 3])
+def test_kconsistency_tables(benchmark, n, k):
+    source, target = two_coloring_instance(n, seed=n)
+    answer = benchmark(strong_k_consistent, source, target, k)
+    if k == 3:
+        assert answer == homomorphism_exists(source, target)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_backtracking_baseline(benchmark, n):
+    source, target = two_coloring_instance(n, seed=n)
+    benchmark(solve_backtracking, source, target)

@@ -1,0 +1,48 @@
+"""E11 — Lemma 5.2: the ∃FO^{k+1} route (the paper's "new proof").
+
+Translates width-w sources into (w+1)-variable sentences and evaluates
+them on K3, against the table-DP route of Theorem 5.4 on identical
+instances.  Expected shape: the two polynomial routes agree everywhere
+and scale alike (they do the same joins in different clothing).
+"""
+
+import pytest
+
+from repro.fo.evaluation import satisfies
+from repro.fo.from_decomposition import structure_to_formula
+from repro.fo.syntax import num_slots
+from repro.treewidth.dp import homomorphism_exists_by_treewidth
+
+from _workloads import treewidth_instance
+
+SIZES = [10, 20, 40]
+WIDTH = 2
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_translation_cost(benchmark, n):
+    source, _target, decomposition = treewidth_instance(n, WIDTH, seed=n)
+    formula = benchmark(structure_to_formula, source, decomposition)
+    assert num_slots(formula) <= WIDTH + 1
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_fo_route_end_to_end(benchmark, n):
+    source, target, decomposition = treewidth_instance(n, WIDTH, seed=n)
+
+    def run():
+        formula = structure_to_formula(source, decomposition)
+        return satisfies(target, formula)
+
+    answer = benchmark(run)
+    assert answer == homomorphism_exists_by_treewidth(
+        source, target, decomposition
+    )
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_dp_route_baseline(benchmark, n):
+    source, target, decomposition = treewidth_instance(n, WIDTH, seed=n)
+    benchmark(
+        homomorphism_exists_by_treewidth, source, target, decomposition
+    )

@@ -1,0 +1,30 @@
+"""E13 — Section 2's negative example: CSP(cliques, graphs) does not
+uniformize.
+
+Finding K_k in a random graph is the clique problem; the backtracking
+cost climbs steeply with k while every uniformized class elsewhere in
+this suite stays polynomial.  This is the contrast experiment: the paper's
+point is precisely that *some* nonuniform families (cliques here — each
+CSP(·, G) is constant-time for fixed G) have no uniform polynomial
+algorithm unless P = NP.
+"""
+
+import pytest
+
+from repro.csp.backtracking import solve_backtracking
+from repro.structures.graphs import clique, random_graph
+
+SIZES = [3, 4, 5, 6]
+GRAPH = random_graph(18, 0.5, seed=99)
+
+
+@pytest.mark.parametrize("k", SIZES)
+def test_clique_search(benchmark, k):
+    benchmark(solve_backtracking, clique(k), GRAPH)
+
+
+@pytest.mark.parametrize("k", SIZES)
+def test_clique_search_no_preprocessing(benchmark, k):
+    benchmark(
+        solve_backtracking, clique(k), GRAPH, preprocess=False
+    )

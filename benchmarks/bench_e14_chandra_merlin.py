@@ -1,0 +1,43 @@
+"""E14 — Theorem 2.1: the three formulations cost the same.
+
+For random query pairs, decides containment by (a) the homomorphism
+route, (b) the evaluation route, and — for the structure formulation —
+(c) solves the same instance as a CSP.  Expected shape: identical
+answers, comparable polynomial cost (they are reductions of each other
+with small constant overhead).
+"""
+
+import pytest
+
+from repro.core.problem import HomomorphismProblem
+from repro.cq.containment import contains, contains_via_evaluation
+from repro.structures.homomorphism import homomorphism_exists
+
+from _workloads import containment_pair
+
+SIZES = [2, 4, 6]
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_homomorphism_route(benchmark, size):
+    q1, q2 = containment_pair(size, seed=size)
+    result = benchmark(contains, q1, q2)
+    assert result == contains_via_evaluation(q1, q2)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_evaluation_route(benchmark, size):
+    q1, q2 = containment_pair(size, seed=size)
+    benchmark(contains_via_evaluation, q1, q2)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_csp_route(benchmark, size):
+    q1, q2 = containment_pair(size, seed=size)
+    problem = HomomorphismProblem.from_containment(q1, q2)
+
+    def run():
+        return homomorphism_exists(problem.source, problem.target)
+
+    result = benchmark(run)
+    assert result == contains(q1, q2)

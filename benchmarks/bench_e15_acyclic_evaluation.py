@@ -1,0 +1,37 @@
+"""E15 — the introduction's lineage: Yannakakis acyclic evaluation.
+
+Boolean chain queries of growing length evaluated by (a) GYO + semi-join
+reduction and (b) the general homomorphism-based evaluator.  Expected
+shape: both answer identically; the semi-join route grows linearly in the
+query length while the general evaluator's cost depends on search.
+"""
+
+import pytest
+
+from repro.cq.acyclic import yannakakis_holds
+from repro.cq.evaluation import holds
+from repro.cq.query import Atom, ConjunctiveQuery
+from repro.structures.graphs import random_digraph
+
+LENGTHS = [2, 4, 8, 16]
+DATABASE = random_digraph(12, 0.2, seed=21)
+
+
+def _chain(length: int) -> ConjunctiveQuery:
+    atoms = [
+        Atom("E", (f"X{i}", f"X{i + 1}")) for i in range(length)
+    ]
+    return ConjunctiveQuery((), atoms)
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+def test_yannakakis(benchmark, length):
+    query = _chain(length)
+    result = benchmark(yannakakis_holds, query, DATABASE)
+    assert result == holds(query, DATABASE)
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+def test_general_evaluator(benchmark, length):
+    query = _chain(length)
+    benchmark(holds, query, DATABASE)

@@ -1,0 +1,9 @@
+"""Path setup for running the benchmarks from a checkout."""
+
+import sys
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+for entry in (str(_ROOT / "src"), str(_ROOT / "benchmarks")):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Acyclic queries and the polymorphism lens — the paper's two horizons.
+
+1. The introduction's lineage: Yannakakis' semi-join evaluation of acyclic
+   queries (GYO join trees), compared with the general evaluator.
+2. The concluding remarks' lineage: tractability via polymorphisms —
+   re-deriving Schaefer's classification from the witnessing operations.
+
+Run:  python examples/acyclic_queries.py
+"""
+
+from repro.boolean.polymorphisms import (
+    AND,
+    MAJORITY,
+    MINORITY,
+    OR,
+    is_polymorphism,
+    polymorphisms,
+    schaefer_classes_from_polymorphisms,
+)
+from repro.boolean.relations import BooleanRelation
+from repro.cq.acyclic import (
+    gyo_join_tree,
+    is_alpha_acyclic,
+    yannakakis_holds,
+)
+from repro.cq.evaluation import holds
+from repro.cq.parser import parse_query
+from repro.structures.graphs import random_digraph
+
+
+def gyo_demo() -> None:
+    print("=== GYO ear removal: which queries are acyclic? ===")
+    queries = {
+        "chain   ": "Q :- E(X, Y), E(Y, Z), E(Z, W).",
+        "star    ": "Q :- E(C, X), E(C, Y), E(C, Z).",
+        "triangle": "Q :- E(X, Y), E(Y, Z), E(Z, X).",
+        "wide    ": "Q :- T(X, Y, Z, W).",
+    }
+    for name, text in queries.items():
+        q = parse_query(text)
+        verdict = "acyclic" if is_alpha_acyclic(q) else "CYCLIC"
+        print(f"  {name}: {verdict}")
+    chain = parse_query(queries["chain   "])
+    print(f"  join tree of the chain: {gyo_join_tree(chain)}")
+    print()
+
+
+def yannakakis_demo() -> None:
+    print("=== Yannakakis semi-join evaluation vs the general evaluator ===")
+    q = parse_query("Q :- E(X, Y), E(Y, Z), E(Z, W).")
+    agreements = 0
+    for seed in range(10):
+        db = random_digraph(6, 0.25, seed=seed)
+        fast = yannakakis_holds(q, db)
+        slow = holds(q, db)
+        assert fast == slow
+        agreements += 1
+    print(f"  agreed on {agreements} random databases")
+    print("  (linear-time semi-joins for the acyclic case — the earliest")
+    print("   tractable island the paper's introduction recalls)")
+    print()
+
+
+def polymorphism_demo() -> None:
+    print("=== Schaefer's classes through polymorphisms ===")
+    relations = {
+        "implication {00,01,11}": BooleanRelation(
+            2, [(0, 0), (0, 1), (1, 1)]
+        ),
+        "xor {01,10}           ": BooleanRelation(2, [(0, 1), (1, 0)]),
+        "one-in-three          ": BooleanRelation(
+            3, [(1, 0, 0), (0, 1, 0), (0, 0, 1)]
+        ),
+    }
+    witnesses = {
+        "AND": AND, "OR": OR, "MAJ": MAJORITY, "MIN": MINORITY,
+    }
+    for name, relation in relations.items():
+        preserved = [
+            label
+            for label, op in witnesses.items()
+            if is_polymorphism(op, relation)
+        ]
+        classes = schaefer_classes_from_polymorphisms(relation)
+        print(f"  {name} closed under {preserved or 'nothing'} -> {classes}")
+    one_in_three = relations["one-in-three          "]
+    binary_polys = list(polymorphisms([one_in_three], 2))
+    print(
+        "  one-in-three has only the projections as binary polymorphisms "
+        f"({len(binary_polys)} found) — the algebraic face of its "
+        "NP-completeness"
+    )
+
+
+if __name__ == "__main__":
+    gyo_demo()
+    yannakakis_demo()
+    polymorphism_demo()

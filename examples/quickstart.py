@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Quickstart: the three faces of one problem.
+
+Conjunctive-query containment, conjunctive-query evaluation, and constraint
+satisfaction are the same problem — the homomorphism problem (Section 2 of
+Kolaitis & Vardi).  This script walks through all three on small inputs.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    HomomorphismProblem,
+    contains,
+    equivalent,
+    evaluate,
+    find_homomorphism,
+    minimize,
+    parse_query,
+    solve,
+)
+from repro.structures.graphs import clique, cycle, digraph_structure
+
+
+def containment_demo() -> None:
+    print("=== 1. Conjunctive-query containment (Chandra-Merlin) ===")
+    q1 = parse_query("Q(X) :- E(X, Y), E(Y, Z).")
+    q2 = parse_query("Q(X) :- E(X, Y).")
+    print(f"Q1: {q1}")
+    print(f"Q2: {q2}")
+    print(f"Q1 <= Q2?  {contains(q1, q2)}   (every 2-step start is a 1-step start)")
+    print(f"Q2 <= Q1?  {contains(q2, q1)}   (the converse fails)")
+
+    redundant = parse_query("Q(X) :- E(X, Y), E(X, Z), E(X, W).")
+    minimal = minimize(redundant)
+    print(f"minimize[{redundant}]  ->  {minimal}")
+    print(f"equivalent? {equivalent(redundant, minimal)}")
+    print()
+
+
+def evaluation_demo() -> None:
+    print("=== 2. Conjunctive-query evaluation ===")
+    db = digraph_structure(
+        ["ann", "bob", "cal", "dee"],
+        [("ann", "bob"), ("bob", "cal"), ("cal", "dee"), ("dee", "bob")],
+    )
+    q = parse_query("Q(X, Z) :- E(X, Y), E(Y, Z).")
+    print(f"query: {q}")
+    print("two-step reachability over a tiny 'follows' graph:")
+    for row in sorted(evaluate(q, db)):
+        print(f"  {row}")
+    print()
+
+
+def csp_demo() -> None:
+    print("=== 3. Constraint satisfaction as homomorphism ===")
+    c6, c5, k2 = cycle(6), cycle(5), clique(2)
+    print("2-coloring = homomorphism into K2:")
+    print(f"  C6 -> K2: {find_homomorphism(c6, k2)}")
+    print(f"  C5 -> K2: {find_homomorphism(c5, k2)}")
+    print()
+    print("the uniform dispatcher picks the right algorithm:")
+    for source, target in ((c6, k2), (c5, clique(3))):
+        solution = solve(source, target)
+        print(
+            f"  solve(C{len(source)}, K{len(target)}): exists="
+            f"{solution.exists} via {solution.strategy}"
+        )
+    print()
+
+
+def unification_demo() -> None:
+    print("=== 4. The three formulations are interchangeable ===")
+    problem = HomomorphismProblem(cycle(6), clique(2))
+    qb, qa = problem.to_containment()
+    print(f"A -> B as containment: Q_B <= Q_A?  {contains(qb, qa)}")
+    query, database = problem.to_evaluation()
+    print(
+        "A -> B as evaluation: Q_A true on B?  "
+        f"{bool(evaluate(query, database))}"
+    )
+    print("A -> B directly:", find_homomorphism(cycle(6), clique(2)) is not None)
+
+
+if __name__ == "__main__":
+    containment_demo()
+    evaluation_demo()
+    csp_demo()
+    unification_demo()

@@ -1,0 +1,100 @@
+"""Boolean constraint satisfaction (Section 3 of the paper).
+
+Schaefer classification (Theorem 3.1), defining formulas (Theorem 3.2),
+the uniform formula-building solver (Theorem 3.3), the direct quadratic
+solvers (Theorem 3.4), and Booleanization (Lemma 3.5).
+"""
+
+from repro.boolean.booleanize import Booleanization, booleanize, code_bits
+from repro.boolean.direct import (
+    solve_bijunctive_csp,
+    solve_dual_horn_csp,
+    solve_horn_csp,
+)
+from repro.boolean.formulas import (
+    LinearEquation,
+    affine_defining_formula,
+    bijunctive_defining_formula,
+    clauses_define,
+    dual_horn_defining_formula,
+    equations_define,
+    horn_defining_formula,
+)
+from repro.boolean.polymorphisms import (
+    AND,
+    CONSTANT_0,
+    CONSTANT_1,
+    MAJORITY,
+    MINORITY,
+    OR,
+    Operation,
+    is_polymorphism,
+    polymorphisms,
+    projection,
+    schaefer_classes_from_polymorphisms,
+)
+from repro.boolean.relations import (
+    BooleanRelation,
+    boolean_relations_of,
+    tuple_and,
+    tuple_majority,
+    tuple_or,
+    tuple_xor3,
+)
+from repro.boolean.schaefer import (
+    NONTRIVIAL_CLASSES,
+    TRIVIAL_CLASSES,
+    SchaeferClass,
+    classify_relation,
+    classify_structure,
+    is_schaefer,
+    nontrivial_classes,
+)
+from repro.boolean.uniform import (
+    build_instance_formula,
+    pick_class,
+    solve_schaefer_csp,
+)
+
+__all__ = [
+    "BooleanRelation",
+    "boolean_relations_of",
+    "tuple_and",
+    "tuple_or",
+    "tuple_majority",
+    "tuple_xor3",
+    "SchaeferClass",
+    "classify_relation",
+    "classify_structure",
+    "is_schaefer",
+    "nontrivial_classes",
+    "TRIVIAL_CLASSES",
+    "NONTRIVIAL_CLASSES",
+    "LinearEquation",
+    "horn_defining_formula",
+    "dual_horn_defining_formula",
+    "bijunctive_defining_formula",
+    "affine_defining_formula",
+    "clauses_define",
+    "equations_define",
+    "solve_schaefer_csp",
+    "build_instance_formula",
+    "pick_class",
+    "solve_horn_csp",
+    "solve_dual_horn_csp",
+    "solve_bijunctive_csp",
+    "Booleanization",
+    "booleanize",
+    "code_bits",
+    "Operation",
+    "is_polymorphism",
+    "polymorphisms",
+    "projection",
+    "schaefer_classes_from_polymorphisms",
+    "CONSTANT_0",
+    "CONSTANT_1",
+    "AND",
+    "OR",
+    "MAJORITY",
+    "MINORITY",
+]

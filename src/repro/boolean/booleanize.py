@@ -1,0 +1,159 @@
+"""Booleanization of constraint-satisfaction instances (Lemma 3.5).
+
+Every instance ``(A, B)`` of the homomorphism problem converts, with only a
+logarithmic blow-up, into a *Boolean* instance ``(A_b, B_b)``: encode each
+of the ``n`` elements of ``B`` as an ``m = ⌈log₂ n⌉``-bit vector, turn every
+``k``-ary relation of ``B`` into a ``km``-ary Boolean relation, and replace
+every element ``a`` of ``A`` by ``m`` fresh copies ``(a, 0), …, (a, m−1)``.
+
+Lemma 3.5:  ``A → B``  iff  ``A_b → B_b``.
+
+The labeling of B's elements is a parameter because it *matters*: Example
+3.8 shows two labelings of the directed 4-cycle C₄, one of which yields an
+affine-only Boolean structure while the other yields one that is both
+bijunctive and affine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Mapping
+
+from repro.exceptions import NotBooleanError, VocabularyError
+from repro.structures.structure import Structure, _sort_key
+from repro.structures.vocabulary import Vocabulary
+
+__all__ = ["Booleanization", "booleanize", "code_bits"]
+
+Element = Hashable
+
+
+def code_bits(code: int, width: int) -> tuple[int, ...]:
+    """The ``width``-bit big-endian encoding of ``code``."""
+    if code < 0 or (width < code.bit_length()):
+        raise ValueError(f"code {code} does not fit in {width} bits")
+    return tuple((code >> (width - 1 - i)) & 1 for i in range(width))
+
+
+@dataclass(frozen=True)
+class Booleanization:
+    """The result of Booleanizing an instance ``(A, B)``.
+
+    Attributes
+    ----------
+    source:
+        ``A_b`` — the Boolean-side encoding of ``A`` (copies ``(a, i)``).
+    target:
+        ``B_b`` — the Boolean structure over universe {0, 1}.
+    labeling:
+        The injective ``{element of B: integer code}`` map used.
+    bits:
+        ``m``, the number of bits per element.
+    """
+
+    source: Structure
+    target: Structure
+    labeling: Mapping[Element, int]
+    bits: int
+
+    def decode_homomorphism(
+        self, boolean_hom: Mapping[tuple[Element, int], int]
+    ) -> dict[Element, Element]:
+        """Translate a homomorphism ``A_b → B_b`` back to one ``A → B``.
+
+        Copies of an element that decode to a code not assigned to any
+        element of B can only belong to elements of A occurring in no fact
+        (their copies are unconstrained); those are mapped to an arbitrary
+        element of B, preserving the homomorphism property.
+        """
+        reverse = {code: element for element, code in self.labeling.items()}
+        fallback = min(reverse.values(), key=_sort_key)
+        result: dict[Element, Element] = {}
+        for (element, bit_index), value in boolean_hom.items():
+            if bit_index != 0:
+                continue
+            code = 0
+            for i in range(self.bits):
+                code = (code << 1) | int(boolean_hom[(element, i)])
+            result[element] = reverse.get(code, fallback)
+        return result
+
+    def encode_homomorphism(
+        self, hom: Mapping[Element, Element]
+    ) -> dict[tuple[Element, int], int]:
+        """Translate a homomorphism ``A → B`` into one ``A_b → B_b``."""
+        encoded: dict[tuple[Element, int], int] = {}
+        for element, target_element in hom.items():
+            bits = code_bits(self.labeling[target_element], self.bits)
+            for i, bit in enumerate(bits):
+                encoded[(element, i)] = bit
+        return encoded
+
+
+def booleanize(
+    source: Structure,
+    target: Structure,
+    labeling: Mapping[Element, int] | None = None,
+) -> Booleanization:
+    """Booleanize the instance ``(source, target)`` per Lemma 3.5.
+
+    ``labeling`` assigns distinct codes ``0 ≤ code < 2^m`` to the elements
+    of ``target``; by default elements are numbered in sorted order.  The
+    number of bits is ``m = max(1, ⌈log₂ |B|⌉)`` (at least one bit so the
+    encoding stays meaningful for singleton targets).
+    """
+    if source.vocabulary != target.vocabulary:
+        raise VocabularyError("Booleanization requires a common vocabulary")
+    if not target.universe:
+        raise NotBooleanError("cannot Booleanize an empty target structure")
+    elements = target.sorted_universe
+    if labeling is None:
+        labeling = {element: i for i, element in enumerate(elements)}
+    else:
+        labeling = dict(labeling)
+        if set(labeling) != set(elements):
+            raise NotBooleanError(
+                "labeling must cover exactly the elements of the target"
+            )
+        codes = list(labeling.values())
+        if len(set(codes)) != len(codes):
+            raise NotBooleanError("labeling codes must be distinct")
+    max_code = max(labeling.values())
+    if any(code < 0 for code in labeling.values()):
+        raise NotBooleanError("labeling codes must be non-negative")
+    bits = max(1, max(max_code.bit_length(), (len(elements) - 1).bit_length()))
+
+    # Target side: each k-ary fact becomes the km-bit concatenation of its
+    # components' codes.
+    target_relations: dict[str, set[tuple[int, ...]]] = {}
+    for symbol, rel in target.relations():
+        encoded = set()
+        for fact in rel:
+            bits_flat: tuple[int, ...] = ()
+            for component in fact:
+                bits_flat += code_bits(labeling[component], bits)
+            encoded.add(bits_flat)
+        target_relations[symbol.name] = encoded
+
+    # Source side: element a becomes copies (a, 0..m-1); each fact expands
+    # positionally.
+    source_universe = [
+        (element, i) for element in source.universe for i in range(bits)
+    ]
+    source_relations: dict[str, set[tuple[tuple[Element, int], ...]]] = {}
+    for symbol, rel in source.relations():
+        expanded = set()
+        for fact in rel:
+            flat: tuple[tuple[Element, int], ...] = ()
+            for component in fact:
+                flat += tuple((component, i) for i in range(bits))
+            expanded.add(flat)
+        source_relations[symbol.name] = expanded
+
+    widened = {
+        symbol.name: symbol.arity * bits for symbol in source.vocabulary
+    }
+    boolean_vocabulary = Vocabulary.from_arities(widened)
+    source_b = Structure(boolean_vocabulary, source_universe, source_relations)
+    target_b = Structure(boolean_vocabulary, {0, 1}, target_relations)
+    return Booleanization(source_b, target_b, labeling, bits)

@@ -1,0 +1,243 @@
+"""Boolean relations and their componentwise (polymorphism) operations.
+
+A k-ary Boolean relation is a set of tuples over {0, 1} — equivalently, a
+set of truth assignments to propositional variables p₁…p_k (Section 3.1).
+Schaefer's tractable classes are characterized by *closure* under certain
+componentwise operations (proof of Theorem 3.1):
+
+================  =========================================
+class             closed under
+================  =========================================
+Horn              binary AND  (t₁ ∧ t₂)
+dual Horn         binary OR   (t₁ ∨ t₂)
+bijunctive        ternary majority  maj(t₁, t₂, t₃)
+affine            ternary XOR  (t₁ ⊕ t₂ ⊕ t₃)
+================  =========================================
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterable, Iterator
+
+from repro.exceptions import NotBooleanError
+from repro.structures.structure import Structure
+
+__all__ = [
+    "BooleanRelation",
+    "tuple_and",
+    "tuple_or",
+    "tuple_majority",
+    "tuple_xor3",
+    "boolean_relations_of",
+]
+
+Bit = int
+BitTuple = tuple[Bit, ...]
+
+
+def _check_tuple(t: BitTuple) -> BitTuple:
+    t = tuple(int(b) for b in t)
+    if any(b not in (0, 1) for b in t):
+        raise NotBooleanError(f"tuple {t!r} has non-Boolean entries")
+    return t
+
+
+def tuple_and(t1: BitTuple, t2: BitTuple) -> BitTuple:
+    """Componentwise conjunction."""
+    return tuple(a & b for a, b in zip(t1, t2, strict=True))
+
+
+def tuple_or(t1: BitTuple, t2: BitTuple) -> BitTuple:
+    """Componentwise disjunction."""
+    return tuple(a | b for a, b in zip(t1, t2, strict=True))
+
+
+def tuple_majority(t1: BitTuple, t2: BitTuple, t3: BitTuple) -> BitTuple:
+    """Componentwise majority of three tuples."""
+    return tuple(
+        1 if a + b + c >= 2 else 0
+        for a, b, c in zip(t1, t2, t3, strict=True)
+    )
+
+
+def tuple_xor3(t1: BitTuple, t2: BitTuple, t3: BitTuple) -> BitTuple:
+    """Componentwise XOR of three tuples."""
+    return tuple(
+        (a + b + c) % 2 for a, b, c in zip(t1, t2, t3, strict=True)
+    )
+
+
+class BooleanRelation:
+    """An immutable k-ary relation over {0, 1}.
+
+    Provides the closure tests behind Theorem 3.1 and small conveniences
+    (ones-sets, the ``X → j`` satisfaction test of Theorem 3.4).
+    """
+
+    __slots__ = ("_arity", "_tuples")
+
+    def __init__(self, arity: int, tuples: Iterable[BitTuple]) -> None:
+        if arity < 0:
+            raise NotBooleanError("arity must be non-negative")
+        cleaned = set()
+        for t in tuples:
+            t = _check_tuple(t)
+            if len(t) != arity:
+                raise NotBooleanError(
+                    f"tuple {t!r} has width {len(t)}, expected {arity}"
+                )
+            cleaned.add(t)
+        self._arity = arity
+        self._tuples = frozenset(cleaned)
+
+    # -- container protocol ---------------------------------------------------
+
+    @property
+    def arity(self) -> int:
+        return self._arity
+
+    @property
+    def tuples(self) -> frozenset[BitTuple]:
+        return self._tuples
+
+    def __contains__(self, t: object) -> bool:
+        return t in self._tuples
+
+    def __iter__(self) -> Iterator[BitTuple]:
+        return iter(sorted(self._tuples))
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BooleanRelation):
+            return NotImplemented
+        return self._arity == other._arity and self._tuples == other._tuples
+
+    def __hash__(self) -> int:
+        return hash((self._arity, self._tuples))
+
+    def __repr__(self) -> str:
+        shown = ", ".join("".join(map(str, t)) for t in self)
+        return f"BooleanRelation({self._arity}, {{{shown}}})"
+
+    # -- Schaefer closure tests (proof of Theorem 3.1) -----------------------
+
+    @property
+    def is_zero_valid(self) -> bool:
+        """Contains the all-zeros tuple."""
+        return (0,) * self._arity in self._tuples
+
+    @property
+    def is_one_valid(self) -> bool:
+        """Contains the all-ones tuple."""
+        return (1,) * self._arity in self._tuples
+
+    @property
+    def is_horn(self) -> bool:
+        """Closed under componentwise AND (Dechter–Pearl criterion)."""
+        return all(
+            tuple_and(t1, t2) in self._tuples
+            for t1 in self._tuples
+            for t2 in self._tuples
+        )
+
+    @property
+    def is_dual_horn(self) -> bool:
+        """Closed under componentwise OR (Dechter–Pearl criterion)."""
+        return all(
+            tuple_or(t1, t2) in self._tuples
+            for t1 in self._tuples
+            for t2 in self._tuples
+        )
+
+    @property
+    def is_bijunctive(self) -> bool:
+        """Closed under componentwise majority (Schaefer's criterion)."""
+        return all(
+            tuple_majority(t1, t2, t3) in self._tuples
+            for t1 in self._tuples
+            for t2 in self._tuples
+            for t3 in self._tuples
+        )
+
+    @property
+    def is_affine(self) -> bool:
+        """Closed under componentwise ternary XOR (Schaefer's criterion)."""
+        return all(
+            tuple_xor3(t1, t2, t3) in self._tuples
+            for t1 in self._tuples
+            for t2 in self._tuples
+            for t3 in self._tuples
+        )
+
+    # -- helpers used by the direct algorithms (Theorem 3.4) ----------------
+
+    def ones(self, t: BitTuple) -> frozenset[int]:
+        """The ones-set One(t) = {i : t_i = 1} (0-based positions)."""
+        return frozenset(i for i, b in enumerate(t) if b)
+
+    def satisfies_implication(self, body: frozenset[int], head: int) -> bool:
+        """Whether the relation satisfies ``⋀_{i∈body} p_i → p_head``.
+
+        Vacuously true when no tuple has ones on all of ``body`` — exactly
+        the convention Theorem 3.4's Horn algorithm relies on.
+        """
+        return all(
+            t[head] == 1
+            for t in self._tuples
+            if all(t[i] == 1 for i in body)
+        )
+
+    def meet_above(self, body: frozenset[int]) -> BitTuple | None:
+        """The componentwise AND of all tuples with ones ⊇ ``body``.
+
+        Returns ``None`` when no tuple lies above ``body``.  For Horn
+        relations this is the least tuple above ``body`` (closure under ∧).
+        """
+        above = [
+            t for t in self._tuples if all(t[i] == 1 for i in body)
+        ]
+        if not above:
+            return None
+        meet = above[0]
+        for t in above[1:]:
+            meet = tuple_and(meet, t)
+        return meet
+
+    def complemented(self) -> "BooleanRelation":
+        """The bit-flipped relation {1−t : t ∈ R}.
+
+        Flipping exchanges Horn with dual Horn, 0-valid with 1-valid, and
+        preserves bijunctive and affine — the duality the library uses to
+        derive every dual-Horn algorithm from its Horn sibling.
+        """
+        return BooleanRelation(
+            self._arity,
+            (tuple(1 - b for b in t) for t in self._tuples),
+        )
+
+    # -- enumeration (test oracles; exponential in arity) --------------------
+
+    def nonmembers(self) -> Iterator[BitTuple]:
+        """All Boolean tuples of the right width *not* in the relation."""
+        for t in product((0, 1), repeat=self._arity):
+            if t not in self._tuples:
+                yield t
+
+
+def boolean_relations_of(structure: Structure) -> dict[str, BooleanRelation]:
+    """Extract every relation of a Boolean structure as a BooleanRelation.
+
+    Raises :class:`NotBooleanError` when the structure's universe is not
+    contained in {0, 1}.
+    """
+    if not structure.is_boolean:
+        raise NotBooleanError(
+            "expected a Boolean structure (universe within {0, 1})"
+        )
+    return {
+        symbol.name: BooleanRelation(symbol.arity, rel)
+        for symbol, rel in structure.relations()
+    }

@@ -1,0 +1,109 @@
+"""Schaefer's classification of Boolean structures (Theorem 3.1).
+
+Schaefer's dichotomy [Sch78] identifies six classes of Boolean structures B
+for which CSP(B) is polynomial — 0-valid, 1-valid, Horn, dual Horn,
+bijunctive, affine — and proves NP-completeness everywhere else.  The
+paper's Theorem 3.1 observes that membership in each class is itself
+polynomial-time recognizable through the closure criteria of Schaefer and
+Dechter–Pearl; this module implements that recognizer.
+
+A structure is in a class when *every* relation is; the *Schaefer class*
+``SC`` is the union of the six.  Structures in the first two classes are
+"trivial" (a constant map is always a homomorphism); the other four are the
+"nontrivial" cases with real algorithms behind them.
+"""
+
+from __future__ import annotations
+
+from enum import Flag, auto
+
+from repro.boolean.relations import BooleanRelation, boolean_relations_of
+from repro.structures.structure import Structure
+
+__all__ = [
+    "SchaeferClass",
+    "classify_relation",
+    "classify_structure",
+    "is_schaefer",
+    "nontrivial_classes",
+    "TRIVIAL_CLASSES",
+    "NONTRIVIAL_CLASSES",
+]
+
+
+class SchaeferClass(Flag):
+    """The six Schaefer classes, as combinable flags.
+
+    A relation (or structure) typically belongs to several classes at once —
+    e.g. the edge relation of K₂ is both bijunctive and affine
+    (Example 3.7) — hence a Flag rather than a plain Enum.
+    """
+
+    NONE = 0
+    ZERO_VALID = auto()
+    ONE_VALID = auto()
+    HORN = auto()
+    DUAL_HORN = auto()
+    BIJUNCTIVE = auto()
+    AFFINE = auto()
+
+
+TRIVIAL_CLASSES = SchaeferClass.ZERO_VALID | SchaeferClass.ONE_VALID
+NONTRIVIAL_CLASSES = (
+    SchaeferClass.HORN
+    | SchaeferClass.DUAL_HORN
+    | SchaeferClass.BIJUNCTIVE
+    | SchaeferClass.AFFINE
+)
+
+
+def classify_relation(relation: BooleanRelation) -> SchaeferClass:
+    """All Schaefer classes the relation belongs to.
+
+    Uses the closure criteria from the proof of Theorem 3.1:
+    AND-closure (Horn), OR-closure (dual Horn), majority-closure
+    (bijunctive), XOR-closure (affine), and direct membership of the
+    constant tuples (0/1-valid).  Each test is polynomial in ``|R|``.
+    """
+    result = SchaeferClass.NONE
+    if relation.is_zero_valid:
+        result |= SchaeferClass.ZERO_VALID
+    if relation.is_one_valid:
+        result |= SchaeferClass.ONE_VALID
+    if relation.is_horn:
+        result |= SchaeferClass.HORN
+    if relation.is_dual_horn:
+        result |= SchaeferClass.DUAL_HORN
+    if relation.is_bijunctive:
+        result |= SchaeferClass.BIJUNCTIVE
+    if relation.is_affine:
+        result |= SchaeferClass.AFFINE
+    return result
+
+
+def classify_structure(structure: Structure) -> SchaeferClass:
+    """The classes *all* relations of a Boolean structure share.
+
+    The result is the intersection over relations; a structure is a
+    Schaefer structure when the result is non-empty (Theorem 3.1: the
+    class SC is recognizable in polynomial time).
+    """
+    relations = boolean_relations_of(structure)
+    result = (
+        TRIVIAL_CLASSES | NONTRIVIAL_CLASSES
+    )
+    for relation in relations.values():
+        result &= classify_relation(relation)
+        if result is SchaeferClass.NONE:
+            break
+    return result
+
+
+def is_schaefer(structure: Structure) -> bool:
+    """Membership in Schaefer's class SC (Theorem 3.1)."""
+    return classify_structure(structure) is not SchaeferClass.NONE
+
+
+def nontrivial_classes(structure: Structure) -> SchaeferClass:
+    """The nontrivial Schaefer classes of a structure (may be NONE)."""
+    return classify_structure(structure) & NONTRIVIAL_CLASSES

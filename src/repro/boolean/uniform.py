@@ -1,0 +1,161 @@
+"""The uniform Schaefer-CSP algorithm via formula building (Theorem 3.3).
+
+Given structures ``A`` and ``B`` with ``B`` in Schaefer's class SC, decide
+whether ``A → B`` in polynomial time:
+
+1. classify ``B`` (Theorem 3.1);
+2. if ``B`` is trivially 0-valid (resp. 1-valid), the constant-0 (resp. 1)
+   map is a homomorphism;
+3. otherwise construct the defining formula δ_{Q′} of each relation of B
+   (Theorem 3.2), instantiate it on every tuple of the corresponding
+   relation of A — elements of A act as propositional variables — and
+   solve the resulting conjunction φ_A with the matching satisfiability
+   algorithm (Horn-SAT, dual-Horn-SAT, 2-SAT, or GF(2) elimination).
+
+The satisfying assignment *is* the homomorphism: h(a) = τ(a).
+
+This is the paper's "cubic" algorithm; the direct quadratic algorithms that
+skip formula building (Theorem 3.4) live in :mod:`repro.boolean.direct` and
+are benchmarked against this one in experiment E3/E4.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.boolean.formulas import (
+    affine_defining_formula,
+    bijunctive_defining_formula,
+    dual_horn_defining_formula,
+    horn_defining_formula,
+)
+from repro.boolean.relations import boolean_relations_of
+from repro.boolean.schaefer import (
+    SchaeferClass,
+    classify_structure,
+)
+from repro.exceptions import NotSchaeferError, VocabularyError
+from repro.sat.affine import LinearSystemGF2, solve_gf2
+from repro.sat.cnf import CNF, Clause
+from repro.sat.horn import solve_dual_horn, solve_horn
+from repro.sat.two_sat import solve_2sat
+from repro.structures.structure import Structure
+
+__all__ = ["solve_schaefer_csp", "build_instance_formula", "pick_class"]
+
+Element = Hashable
+
+# Preference order used when B belongs to several nontrivial classes; any
+# choice is correct, this one favours the cheapest satisfiability routine.
+_CLASS_ORDER = (
+    SchaeferClass.HORN,
+    SchaeferClass.DUAL_HORN,
+    SchaeferClass.BIJUNCTIVE,
+    SchaeferClass.AFFINE,
+)
+
+
+def pick_class(classes: SchaeferClass) -> SchaeferClass:
+    """Choose one concrete class out of a classification result.
+
+    Trivial classes win outright (a constant map is a homomorphism for any
+    left-hand side); otherwise the first nontrivial class in preference
+    order is picked.  Raises :class:`NotSchaeferError` on NONE.
+    """
+    if classes & SchaeferClass.ZERO_VALID:
+        return SchaeferClass.ZERO_VALID
+    if classes & SchaeferClass.ONE_VALID:
+        return SchaeferClass.ONE_VALID
+    for candidate in _CLASS_ORDER:
+        if classes & candidate:
+            return candidate
+    raise NotSchaeferError("structure is outside Schaefer's class SC")
+
+
+def build_instance_formula(
+    source: Structure,
+    target: Structure,
+    schaefer_class: SchaeferClass,
+) -> tuple[CNF | LinearSystemGF2, dict[Element, int]]:
+    """Construct φ_A: the instantiated defining formulas of Theorem 3.3.
+
+    Returns the formula (a CNF, or a GF(2) system for the affine case)
+    together with the variable numbering ``{element of A: variable}``
+    (1-based for CNF, 0-based for the linear system).
+    """
+    relations_b = boolean_relations_of(target)
+    elements = source.sorted_universe
+    if schaefer_class is SchaeferClass.AFFINE:
+        var_of = {element: i for i, element in enumerate(elements)}
+        system = LinearSystemGF2(len(elements))
+        for symbol, rel in source.relations():
+            equations = affine_defining_formula(relations_b[symbol.name])
+            for fact in rel:
+                for equation in equations:
+                    system.add_equation(
+                        (var_of[fact[i]] for i in equation.positions),
+                        equation.rhs,
+                    )
+        return system, var_of
+
+    if schaefer_class is SchaeferClass.HORN:
+        build = horn_defining_formula
+    elif schaefer_class is SchaeferClass.DUAL_HORN:
+        build = dual_horn_defining_formula
+    elif schaefer_class is SchaeferClass.BIJUNCTIVE:
+        build = bijunctive_defining_formula
+    else:
+        raise NotSchaeferError(
+            f"no formula construction for class {schaefer_class!r}"
+        )
+    var_of = {element: i + 1 for i, element in enumerate(elements)}
+    formula = CNF(num_vars=len(elements))
+    for symbol, rel in source.relations():
+        clauses: list[Clause] = build(relations_b[symbol.name])
+        for fact in rel:
+            for clause in clauses:
+                formula.add_clause(
+                    (1 if lit > 0 else -1) * var_of[fact[abs(lit) - 1]]
+                    for lit in clause
+                )
+    return formula, var_of
+
+
+def solve_schaefer_csp(
+    source: Structure, target: Structure
+) -> dict[Element, int] | None:
+    """Decide ``A → B`` for a Schaefer target, returning a homomorphism.
+
+    Implements Theorem 3.3 end to end; raises :class:`NotSchaeferError`
+    when ``target`` is not a Schaefer structure and
+    :class:`VocabularyError` on vocabulary mismatch.  Returns ``None``
+    when no homomorphism exists.
+    """
+    if source.vocabulary != target.vocabulary:
+        raise VocabularyError("instance structures must share a vocabulary")
+    classes = classify_structure(target)
+    chosen = pick_class(classes)
+
+    if chosen is SchaeferClass.ZERO_VALID:
+        return {element: 0 for element in source.universe}
+    if chosen is SchaeferClass.ONE_VALID:
+        return {element: 1 for element in source.universe}
+
+    formula, var_of = build_instance_formula(source, target, chosen)
+    if chosen is SchaeferClass.AFFINE:
+        assert isinstance(formula, LinearSystemGF2)
+        solution = solve_gf2(formula)
+        if solution is None:
+            return None
+        return {element: solution[var] for element, var in var_of.items()}
+
+    assert isinstance(formula, CNF)
+    if chosen is SchaeferClass.HORN:
+        model = solve_horn(formula)
+    elif chosen is SchaeferClass.DUAL_HORN:
+        model = solve_dual_horn(formula)
+    else:
+        model = solve_2sat(formula)
+    if model is None:
+        return None
+    return {element: int(model[var]) for element, var in var_of.items()}

@@ -1,0 +1,17 @@
+"""The paper's primary contribution, as an API.
+
+:class:`HomomorphismProblem` unifies conjunctive-query containment,
+conjunctive-query evaluation, and constraint satisfaction; :func:`solve`
+is the uniform solver that routes each instance to the tractable algorithm
+(Schaefer / treewidth / pebble games) the paper proves applicable.
+"""
+
+from repro.core.problem import HomomorphismProblem
+from repro.core.solver import DEFAULT_WIDTH_THRESHOLD, Solution, solve
+
+__all__ = [
+    "HomomorphismProblem",
+    "Solution",
+    "solve",
+    "DEFAULT_WIDTH_THRESHOLD",
+]

@@ -1,0 +1,87 @@
+"""The homomorphism problem — the paper's unifying object (Section 2).
+
+"Given two finite relational structures A and B, is there a homomorphism
+h: A → B?"  Conjunctive-query containment, conjunctive-query evaluation,
+and constraint satisfaction are all this problem in different clothes;
+:class:`HomomorphismProblem` is the common currency, with constructors
+from each formulation and translations back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Mapping
+
+from repro.cq.canonical import canonical_database, query_of_structure
+from repro.cq.query import ConjunctiveQuery
+from repro.csp.instance import CSPInstance
+from repro.exceptions import VocabularyError
+from repro.structures.homomorphism import is_homomorphism
+from repro.structures.structure import Structure
+
+__all__ = ["HomomorphismProblem"]
+
+Element = Hashable
+
+
+@dataclass(frozen=True)
+class HomomorphismProblem:
+    """An instance ``(A, B)`` of the uniform homomorphism problem."""
+
+    source: Structure
+    target: Structure
+
+    def __post_init__(self) -> None:
+        if self.source.vocabulary != self.target.vocabulary:
+            raise VocabularyError(
+                "a homomorphism problem needs a common vocabulary"
+            )
+
+    # -- constructors from the paper's other two formulations -----------------
+
+    @classmethod
+    def from_containment(
+        cls, q1: ConjunctiveQuery, q2: ConjunctiveQuery
+    ) -> "HomomorphismProblem":
+        """The instance deciding ``Q1 ⊆ Q2`` (Theorem 2.1).
+
+        ``Q1 ⊆ Q2`` iff there is a homomorphism ``D_{Q2} → D_{Q1}``, so the
+        *source* is the canonical database of Q2 and the *target* that of
+        Q1 (markers included, pinning distinguished variables).
+        """
+        if q1.arity != q2.arity:
+            raise VocabularyError("containment needs equal arities")
+        union = q1.vocabulary.union(q2.vocabulary)
+        return cls(
+            canonical_database(q2, union), canonical_database(q1, union)
+        )
+
+    @classmethod
+    def from_csp(cls, instance: CSPInstance) -> "HomomorphismProblem":
+        """The instance equivalent to an AI-style CSP."""
+        source, target = instance.to_homomorphism()
+        return cls(source, target)
+
+    # -- translations to the other formulations -------------------------------
+
+    def to_containment(self) -> tuple[ConjunctiveQuery, ConjunctiveQuery]:
+        """Queries ``(Q_B, Q_A)`` with ``A → B`` iff ``Q_B ⊆ Q_A``.
+
+        The Section 2 reduction from the homomorphism problem back to
+        Boolean conjunctive-query containment.
+        """
+        return (
+            query_of_structure(self.target),
+            query_of_structure(self.source),
+        )
+
+    def to_evaluation(self) -> tuple[ConjunctiveQuery, Structure]:
+        """A pair (query, database) with ``A → B`` iff the Boolean query
+        ``Q_A`` holds on ``B``."""
+        return query_of_structure(self.source), self.target
+
+    # -- verification -----------------------------------------------------------
+
+    def check(self, mapping: Mapping[Element, Element]) -> bool:
+        """Whether ``mapping`` solves the instance."""
+        return is_homomorphism(mapping, self.source, self.target)

@@ -1,0 +1,68 @@
+"""Conjunctive queries: containment, evaluation, minimization (Section 2).
+
+The Chandra–Merlin triangle — containment ⇔ evaluation ⇔ homomorphism —
+plus Saraiya's polynomial two-atom case via Booleanization (Section 3.2).
+"""
+
+from repro.cq.canonical import (
+    DISTINGUISHED_PREFIX,
+    body_structure,
+    canonical_database,
+    canonical_query,
+    distinguished_marker,
+    query_of_structure,
+)
+from repro.cq.containment import (
+    containment_witness,
+    contains,
+    contains_via_evaluation,
+    equivalent,
+)
+from repro.cq.evaluation import evaluate, evaluate_join, holds
+from repro.cq.minimize import is_minimal, minimize, minimize_by_atom_removal
+from repro.cq.parser import parse_atom_list, parse_query
+from repro.cq.query import Atom, ConjunctiveQuery
+from repro.cq.acyclic import (
+    gyo_join_tree,
+    is_alpha_acyclic,
+    yannakakis_holds,
+)
+from repro.cq.saraiya import is_two_atom_instance, two_atom_contains
+from repro.cq.width import (
+    contains_bounded_width,
+    is_acyclic_width,
+    query_treewidth,
+    query_treewidth_upper_bound,
+)
+
+__all__ = [
+    "Atom",
+    "ConjunctiveQuery",
+    "parse_query",
+    "parse_atom_list",
+    "canonical_database",
+    "canonical_query",
+    "body_structure",
+    "query_of_structure",
+    "distinguished_marker",
+    "DISTINGUISHED_PREFIX",
+    "contains",
+    "contains_via_evaluation",
+    "containment_witness",
+    "equivalent",
+    "evaluate",
+    "evaluate_join",
+    "holds",
+    "minimize",
+    "minimize_by_atom_removal",
+    "is_minimal",
+    "is_two_atom_instance",
+    "two_atom_contains",
+    "query_treewidth",
+    "query_treewidth_upper_bound",
+    "is_acyclic_width",
+    "contains_bounded_width",
+    "gyo_join_tree",
+    "is_alpha_acyclic",
+    "yannakakis_holds",
+]

@@ -1,0 +1,149 @@
+"""Acyclic conjunctive queries: GYO reduction and Yannakakis evaluation.
+
+The paper's introduction traces the tractable-containment lineage back to
+Yannakakis' evaluation of *acyclic* queries — the width-1 end of the
+querywidth story.  This module implements the classical toolkit:
+
+* :func:`gyo_join_tree` — the Graham/Yu–Özsoyoğlu ear-removal procedure:
+  a query's hypergraph is α-acyclic iff ears can be removed until one
+  hyperedge remains; the removal order yields a *join tree*;
+* :func:`is_alpha_acyclic` — the acyclicity test;
+* :func:`yannakakis_holds` — Boolean-query evaluation by one bottom-up
+  semi-join sweep over the join tree, linear in data size for acyclic
+  queries; cross-checked in the tests against the general evaluator.
+
+Note α-acyclicity and treewidth 1 are incomparable in general (a triangle
+of binary atoms is cyclic both ways, but a single wide atom is α-acyclic
+with high treewidth), which is why this module complements
+:mod:`repro.cq.width` rather than replacing it.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.cq.query import Atom, ConjunctiveQuery
+from repro.exceptions import VocabularyError
+from repro.structures.structure import Structure
+
+__all__ = ["gyo_join_tree", "is_alpha_acyclic", "yannakakis_holds"]
+
+Element = Hashable
+
+
+def gyo_join_tree(
+    query: ConjunctiveQuery,
+) -> list[tuple[int, int | None]] | None:
+    """The GYO ear-removal join tree, or ``None`` when the query is cyclic.
+
+    Returns pairs ``(atom index, parent atom index)`` in removal order;
+    the last surviving atom is the root with parent ``None``.  An *ear*
+    is an atom whose variables shared with any other atom all lie inside
+    one single other atom (its witness, which becomes its parent).
+    """
+    atoms = list(query.atoms)
+    if not atoms:
+        return []
+    alive = set(range(len(atoms)))
+    variable_sets = [set(atom.terms) for atom in atoms]
+    tree: list[tuple[int, int | None]] = []
+
+    while len(alive) > 1:
+        ear = None
+        witness = None
+        for candidate in sorted(alive):
+            others = [i for i in alive if i != candidate]
+            shared = variable_sets[candidate] & set().union(
+                *(variable_sets[i] for i in others)
+            )
+            for other in others:
+                if shared <= variable_sets[other]:
+                    ear, witness = candidate, other
+                    break
+            if ear is not None:
+                break
+        if ear is None:
+            return None  # no ear: the hypergraph is cyclic
+        alive.discard(ear)
+        tree.append((ear, witness))
+    root = alive.pop()
+    tree.append((root, None))
+    return tree
+
+
+def is_alpha_acyclic(query: ConjunctiveQuery) -> bool:
+    """α-acyclicity of the query's hypergraph (GYO criterion)."""
+    return gyo_join_tree(query) is not None
+
+
+def _atom_bindings(
+    atom: Atom, database: Structure
+) -> tuple[tuple[str, ...], set[tuple[Element, ...]]]:
+    """Distinct-variable columns and matching rows of one atom."""
+    columns: list[str] = []
+    for term in atom.terms:
+        if term not in columns:
+            columns.append(term)
+    rows: set[tuple[Element, ...]] = set()
+    for fact in database.relation(atom.relation):
+        values: dict[str, Element] = {}
+        consistent = True
+        for term, value in zip(atom.terms, fact):
+            if values.setdefault(term, value) != value:
+                consistent = False
+                break
+        if consistent:
+            rows.add(tuple(values[c] for c in columns))
+    return tuple(columns), rows
+
+
+def yannakakis_holds(
+    query: ConjunctiveQuery, database: Structure
+) -> bool:
+    """Truth of a Boolean acyclic query by semi-join reduction.
+
+    One bottom-up sweep over the GYO join tree: each ear semi-joins its
+    witness (parent keeps only tuples with a matching child tuple; with
+    no shared variables the child acts as an emptiness filter).  The
+    query holds iff the root relation is non-empty at the end.
+
+    Raises :class:`VocabularyError` for non-Boolean or cyclic queries.
+    """
+    if not query.is_boolean:
+        raise VocabularyError(
+            "yannakakis_holds evaluates Boolean queries; project first"
+        )
+    tree = gyo_join_tree(query)
+    if tree is None:
+        raise VocabularyError("query is not α-acyclic; use evaluate()")
+    if not tree:
+        return True  # the empty conjunction
+    if not query.vocabulary.issubset(database.vocabulary):
+        database = database.with_vocabulary(
+            database.vocabulary.union(query.vocabulary)
+        )
+
+    atoms = list(query.atoms)
+    states = {
+        index: _atom_bindings(atom, database)
+        for index, atom in enumerate(atoms)
+    }
+
+    for child, parent in tree:
+        child_columns, child_rows = states[child]
+        if parent is None:
+            return bool(child_rows)
+        parent_columns, parent_rows = states[parent]
+        shared = [c for c in parent_columns if c in child_columns]
+        child_positions = [child_columns.index(c) for c in shared]
+        parent_positions = [parent_columns.index(c) for c in shared]
+        child_keys = {
+            tuple(row[i] for i in child_positions) for row in child_rows
+        }
+        reduced = {
+            row
+            for row in parent_rows
+            if tuple(row[i] for i in parent_positions) in child_keys
+        }
+        states[parent] = (parent_columns, reduced)
+    raise AssertionError("join tree must end in a root")  # pragma: no cover

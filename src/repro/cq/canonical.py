@@ -1,0 +1,118 @@
+"""Canonical databases and the query↔structure correspondence (Section 2).
+
+The *canonical database* ``D_Q`` of a query ``Q`` treats each variable as a
+distinct element, each subgoal as a fact, and adds one fresh unary predicate
+``P_i`` per distinguished variable ``X_i`` holding exactly ``{X_i}``.  In the
+other direction, every structure ``A`` yields the Boolean query ``Q_A`` whose
+body conjoins all facts of ``A`` with every element read as an existential
+variable.  Theorem 2.1 (Chandra–Merlin) then identifies containment,
+evaluation, and homomorphism through these translations.
+
+Distinguished-variable markers use relation names ``@dist0``, ``@dist1``, …
+— the ``@`` prefix keeps them out of the way of user relation names.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.cq.query import Atom, ConjunctiveQuery
+from repro.exceptions import VocabularyError
+from repro.structures.structure import Structure
+from repro.structures.vocabulary import RelationSymbol, Vocabulary
+
+__all__ = [
+    "DISTINGUISHED_PREFIX",
+    "distinguished_marker",
+    "canonical_database",
+    "body_structure",
+    "canonical_query",
+    "query_of_structure",
+]
+
+Element = Hashable
+
+DISTINGUISHED_PREFIX = "@dist"
+
+
+def distinguished_marker(index: int) -> RelationSymbol:
+    """The unary marker predicate ``P_i`` for head position ``index``."""
+    return RelationSymbol(f"{DISTINGUISHED_PREFIX}{index}", 1)
+
+
+def _marker_vocabulary(arity: int) -> Vocabulary:
+    return Vocabulary(distinguished_marker(i) for i in range(arity))
+
+
+def body_structure(
+    query: ConjunctiveQuery, vocabulary: Vocabulary | None = None
+) -> Structure:
+    """The structure of the query body alone (no distinguished markers).
+
+    Used for query evaluation: the answers to ``Q`` over ``D`` are the
+    projections onto the head variables of the homomorphisms from this
+    structure into ``D``.  ``vocabulary`` may widen the signature so two
+    structures can be compared.
+    """
+    vocabulary = (
+        query.vocabulary if vocabulary is None
+        else query.vocabulary.union(vocabulary)
+    )
+    relations: dict[str, set[tuple[Element, ...]]] = {}
+    for atom in query.atoms:
+        relations.setdefault(atom.relation, set()).add(atom.terms)
+    return Structure(vocabulary, query.variables, relations)
+
+
+def canonical_database(
+    query: ConjunctiveQuery, vocabulary: Vocabulary | None = None
+) -> Structure:
+    """The canonical database ``D_Q`` including distinguished markers.
+
+    ``vocabulary`` may widen the body signature (markers are always added
+    on top).  Containment of two queries compares their canonical
+    databases over the *union* of their body vocabularies.
+    """
+    body = body_structure(query, vocabulary)
+    full_vocabulary = body.vocabulary.union(
+        _marker_vocabulary(query.arity)
+    )
+    relations = {
+        symbol.name: set(rel) for symbol, rel in body.relations()
+    }
+    for index, variable in enumerate(query.head_variables):
+        marker = distinguished_marker(index)
+        relations.setdefault(marker.name, set()).add((variable,))
+    return Structure(full_vocabulary, body.universe, relations)
+
+
+def canonical_query(
+    structure: Structure, head_variables: tuple[Element, ...] = ()
+) -> ConjunctiveQuery:
+    """A conjunctive query whose body conjoins all facts of ``structure``.
+
+    Elements become variables named ``v«i»`` in sorted-universe order;
+    ``head_variables`` (a tuple of *elements*) become the distinguished
+    variables.  With an empty head this is the Boolean query ``Q_A`` of
+    Section 2 — the bridge showing that the homomorphism problem reduces
+    to conjunctive-query containment (``A → B`` iff ``Q_B ⊆ Q_A``).
+    """
+    order = structure.sorted_universe
+    names = {element: f"v{i}" for i, element in enumerate(order)}
+    for element in head_variables:
+        if element not in names:
+            raise VocabularyError(
+                f"head element {element!r} not in the structure"
+            )
+    atoms = [
+        Atom(name, tuple(names[e] for e in fact))
+        for name, fact in structure.facts()
+    ]
+    return ConjunctiveQuery(
+        (names[e] for e in head_variables), atoms
+    )
+
+
+def query_of_structure(structure: Structure) -> ConjunctiveQuery:
+    """Alias for the Boolean canonical query ``Q_A`` (no head variables)."""
+    return canonical_query(structure, ())

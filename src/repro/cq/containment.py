@@ -1,0 +1,90 @@
+"""Conjunctive-query containment via Chandra–Merlin (Theorem 2.1).
+
+``Q1 ⊆ Q2`` (every database D has Q1(D) ⊆ Q2(D)) holds iff there is a
+homomorphism ``D_{Q2} → D_{Q1}`` mapping distinguished variables to the
+corresponding distinguished variables — which the unary marker predicates of
+the canonical databases enforce automatically.  Theorem 2.1 also gives the
+evaluation characterization (``(X1,…,Xn) ∈ Q2(D_{Q1})``), implemented as an
+independent second route for cross-checking.
+
+The general problem is NP-complete [CM77]; the polynomial special cases of
+the paper live in :mod:`repro.cq.saraiya` (two-atom queries, via
+Booleanization) and :mod:`repro.treewidth` (bounded-treewidth queries).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.cq.canonical import (
+    body_structure,
+    canonical_database,
+)
+from repro.cq.evaluation import evaluate
+from repro.cq.query import ConjunctiveQuery
+from repro.exceptions import VocabularyError
+from repro.structures.homomorphism import find_homomorphism
+from repro.structures.structure import Structure
+
+__all__ = [
+    "containment_witness",
+    "contains",
+    "contains_via_evaluation",
+    "equivalent",
+]
+
+Element = Hashable
+
+
+def _check_compatible(q1: ConjunctiveQuery, q2: ConjunctiveQuery) -> None:
+    if q1.arity != q2.arity:
+        raise VocabularyError(
+            f"containment needs equal arities; got {q1.arity} and {q2.arity}"
+        )
+
+
+def containment_witness(
+    q1: ConjunctiveQuery, q2: ConjunctiveQuery
+) -> dict[Element, Element] | None:
+    """The containment homomorphism ``D_{Q2} → D_{Q1}``, or ``None``.
+
+    A witness maps every variable of ``q2`` to a variable of ``q1`` such
+    that subgoals of ``q2`` become subgoals of ``q1`` and distinguished
+    variables correspond positionally.
+    """
+    _check_compatible(q1, q2)
+    union = q1.vocabulary.union(q2.vocabulary)
+    d1 = canonical_database(q1, union)
+    d2 = canonical_database(q2, union)
+    return find_homomorphism(d2, d1)
+
+
+def contains(q1: ConjunctiveQuery, q2: ConjunctiveQuery) -> bool:
+    """Decide ``Q1 ⊆ Q2`` (the paper's containment direction).
+
+    Equivalent formulations (Theorem 2.1): there is a homomorphism
+    ``D_{Q2} → D_{Q1}``, and the distinguished tuple of ``Q1`` is an answer
+    of ``Q2`` on ``D_{Q1}``.
+    """
+    return containment_witness(q1, q2) is not None
+
+
+def contains_via_evaluation(
+    q1: ConjunctiveQuery, q2: ConjunctiveQuery
+) -> bool:
+    """Decide ``Q1 ⊆ Q2`` by evaluating Q2 on the canonical database of Q1.
+
+    The second bullet of Theorem 2.1: ``(X1, …, Xn) ∈ Q2(D_{Q1})`` where
+    ``(X1, …, Xn)`` are Q1's distinguished variables.  This route exists to
+    cross-check :func:`contains`; both must always agree.
+    """
+    _check_compatible(q1, q2)
+    union = q1.vocabulary.union(q2.vocabulary)
+    database: Structure = body_structure(q1, union)
+    answers = evaluate(q2, database)
+    return tuple(q1.head_variables) in answers
+
+
+def equivalent(q1: ConjunctiveQuery, q2: ConjunctiveQuery) -> bool:
+    """Query equivalence: containment in both directions."""
+    return contains(q1, q2) and contains(q2, q1)

@@ -1,0 +1,89 @@
+"""A small parser for rule-form conjunctive queries.
+
+Grammar (whitespace-insensitive)::
+
+    query  :=  head ":-" body? "."?
+    head   :=  NAME "(" vars? ")"  |  NAME        # bare name = Boolean query
+    body   :=  atom ("," atom)*
+    atom   :=  NAME "(" vars? ")"
+    vars   :=  NAME ("," NAME)*
+
+Examples::
+
+    Q(X1, X2) :- P(X1, Z1, Z2), R(Z2, Z3), R(Z3, X2).
+    Q :- E(X, Y), E(Y, X).
+
+The same tokenizer also serves the Datalog parser in
+:mod:`repro.datalog.program`.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.cq.query import Atom, ConjunctiveQuery
+from repro.exceptions import ParseError
+
+__all__ = ["parse_query", "parse_atom_list"]
+
+_NAME = r"[A-Za-z_][A-Za-z0-9_.\[\]|@']*"
+_ATOM_RE = re.compile(rf"\s*({_NAME})\s*(?:\(([^()]*)\))?\s*")
+
+
+def _parse_terms(inner: str, context: str) -> tuple[str, ...]:
+    inner = inner.strip()
+    if not inner:
+        return ()
+    terms = []
+    for piece in inner.split(","):
+        piece = piece.strip()
+        if not re.fullmatch(_NAME, piece):
+            raise ParseError(f"bad term {piece!r} in {context}")
+        terms.append(piece)
+    return tuple(terms)
+
+
+def parse_atom_list(text: str) -> list[Atom]:
+    """Parse a comma-separated list of atoms (the body of a rule)."""
+    atoms: list[Atom] = []
+    position = 0
+    text = text.strip()
+    if not text:
+        return atoms
+    while position < len(text):
+        match = _ATOM_RE.match(text, position)
+        if not match or match.group(2) is None:
+            raise ParseError(f"cannot parse atom at: {text[position:]!r}")
+        atoms.append(Atom(match.group(1), _parse_terms(match.group(2), text)))
+        position = match.end()
+        if position < len(text):
+            if text[position] != ",":
+                raise ParseError(
+                    f"expected ',' between atoms at: {text[position:]!r}"
+                )
+            position += 1
+    return atoms
+
+
+def parse_query(text: str, name: str | None = None) -> ConjunctiveQuery:
+    """Parse a rule-form conjunctive query.
+
+    ``name`` overrides the head predicate name from the text.
+    """
+    text = text.strip()
+    if text.endswith("."):
+        text = text[:-1]
+    if ":-" not in text:
+        raise ParseError("query must contain ':-'")
+    head_text, body_text = text.split(":-", 1)
+    match = _ATOM_RE.fullmatch(head_text)
+    if not match:
+        raise ParseError(f"cannot parse head {head_text!r}")
+    head_name = match.group(1)
+    head_vars = (
+        _parse_terms(match.group(2), head_text)
+        if match.group(2) is not None
+        else ()
+    )
+    atoms = parse_atom_list(body_text)
+    return ConjunctiveQuery(head_vars, atoms, name or head_name)

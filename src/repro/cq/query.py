@@ -1,0 +1,202 @@
+"""Conjunctive queries (Section 2 of the paper).
+
+A conjunctive query is a positive existential first-order formula whose only
+connective is conjunction, written in rule form::
+
+    Q(X1, X2) :- P(X1, Z1, Z2), R(Z2, Z3), R(Z3, X2)
+
+The head variables are the *distinguished* variables; all body variables not
+in the head are existentially quantified.  This module defines the query AST;
+parsing lives in :mod:`repro.cq.parser`, canonical databases in
+:mod:`repro.cq.canonical`, and the Chandra–Merlin containment test in
+:mod:`repro.cq.containment`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.exceptions import ParseError, VocabularyError
+from repro.structures.vocabulary import Vocabulary
+
+__all__ = ["Atom", "ConjunctiveQuery"]
+
+Variable = str
+
+
+@dataclass(frozen=True, order=True)
+class Atom:
+    """One subgoal ``R(t₁, …, t_r)`` of a query body.
+
+    Terms are variables (strings); the paper's queries are constant-free.
+    """
+
+    relation: str
+    terms: tuple[Variable, ...]
+
+    def __post_init__(self) -> None:
+        if not self.relation:
+            raise ParseError("atom needs a relation name")
+        object.__setattr__(self, "terms", tuple(self.terms))
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    def __str__(self) -> str:
+        return f"{self.relation}({', '.join(self.terms)})"
+
+
+class ConjunctiveQuery:
+    """An n-ary conjunctive query in rule form.
+
+    Parameters
+    ----------
+    head_variables:
+        The tuple of distinguished variables, in order.  Repetitions are
+        allowed (``Q(X, X) :- …``).
+    atoms:
+        The body subgoals.  A relation name must be used with a single
+        arity across the body.
+    name:
+        The head predicate name (cosmetic; containment ignores it).
+    """
+
+    __slots__ = ("_name", "_head", "_atoms", "_vocabulary")
+
+    def __init__(
+        self,
+        head_variables: Iterable[Variable],
+        atoms: Iterable[Atom | tuple[str, tuple[Variable, ...]]],
+        name: str = "Q",
+    ) -> None:
+        head = tuple(head_variables)
+        normalized: list[Atom] = []
+        for atom in atoms:
+            if not isinstance(atom, Atom):
+                relation, terms = atom
+                atom = Atom(relation, tuple(terms))
+            normalized.append(atom)
+        arities: dict[str, int] = {}
+        for atom in normalized:
+            existing = arities.get(atom.relation)
+            if existing is not None and existing != atom.arity:
+                raise VocabularyError(
+                    f"relation {atom.relation!r} used with arities "
+                    f"{existing} and {atom.arity}"
+                )
+            arities[atom.relation] = atom.arity
+        self._name = name
+        self._head = head
+        # Duplicate subgoals are semantically irrelevant; dropping them also
+        # makes equality insensitive to body order and repetition.
+        self._atoms = tuple(sorted(set(normalized)))
+        self._vocabulary = Vocabulary.from_arities(arities)
+
+    # -- accessors -------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def head_variables(self) -> tuple[Variable, ...]:
+        return self._head
+
+    @property
+    def arity(self) -> int:
+        """The arity of the query (number of head positions)."""
+        return len(self._head)
+
+    @property
+    def atoms(self) -> tuple[Atom, ...]:
+        return self._atoms
+
+    @property
+    def vocabulary(self) -> Vocabulary:
+        """The body vocabulary (extensional database predicates)."""
+        return self._vocabulary
+
+    @property
+    def variables(self) -> frozenset[Variable]:
+        """All variables: head variables plus body variables."""
+        names = set(self._head)
+        for atom in self._atoms:
+            names.update(atom.terms)
+        return frozenset(names)
+
+    @property
+    def existential_variables(self) -> frozenset[Variable]:
+        """Body variables that are not distinguished."""
+        return self.variables - set(self._head)
+
+    @property
+    def is_boolean(self) -> bool:
+        """True for 0-ary queries (sentence queries ``Q :- body``)."""
+        return not self._head
+
+    # -- derived metrics ---------------------------------------------------------
+
+    def occurrence_counts(self) -> dict[str, int]:
+        """How many body atoms use each relation name.
+
+        Saraiya's tractable class (Proposition 3.6) is the queries where
+        every count is at most 2 — see :meth:`is_two_atom`.
+        """
+        counts: dict[str, int] = {}
+        for atom in self._atoms:
+            counts[atom.relation] = counts.get(atom.relation, 0) + 1
+        return counts
+
+    @property
+    def is_two_atom(self) -> bool:
+        """Every database predicate occurs at most twice in the body."""
+        return all(count <= 2 for count in self.occurrence_counts().values())
+
+    @property
+    def size(self) -> int:
+        """Encoding size: head width plus total body cells."""
+        return len(self._head) + sum(atom.arity + 1 for atom in self._atoms)
+
+    # -- protocol ----------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self._atoms)
+
+    def __len__(self) -> int:
+        return len(self._atoms)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConjunctiveQuery):
+            return NotImplemented
+        return self._head == other._head and self._atoms == other._atoms
+
+    def __hash__(self) -> int:
+        return hash((self._head, self._atoms))
+
+    def __str__(self) -> str:
+        head = f"{self._name}({', '.join(self._head)})"
+        if not self._atoms:
+            return f"{head} :- ."
+        body = ", ".join(str(atom) for atom in self._atoms)
+        return f"{head} :- {body}."
+
+    def __repr__(self) -> str:
+        return f"ConjunctiveQuery({str(self)!r})"
+
+    # -- renaming ----------------------------------------------------------------
+
+    def rename_variables(self, mapping: dict[Variable, Variable]) -> "ConjunctiveQuery":
+        """Apply an injective variable renaming."""
+        image = [mapping.get(v, v) for v in self.variables]
+        if len(set(image)) != len(image):
+            raise VocabularyError("variable renaming must be injective")
+        return ConjunctiveQuery(
+            (mapping.get(v, v) for v in self._head),
+            (
+                Atom(a.relation, tuple(mapping.get(t, t) for t in a.terms))
+                for a in self._atoms
+            ),
+            self._name,
+        )

@@ -1,0 +1,55 @@
+"""Saraiya's tractable case: two-atom query containment (Proposition 3.6).
+
+If every database predicate occurs at most twice in the body of ``Q1``,
+then deciding ``Q1 ⊆ Q2`` is polynomial.  The paper derives this through
+Booleanization: the containment test is the homomorphism problem
+``D_{Q2} → D_{Q1}``, whose *target* has at most two tuples per relation
+(markers have exactly one); Booleanizing yields Boolean relations with at
+most two tuples — and every Boolean relation with at most two tuples is
+bijunctive — so the direct bijunctive algorithm of Theorem 3.4 finishes in
+polynomial time.
+
+This module implements exactly that pipeline, plus the recognizer for the
+class.
+"""
+
+from __future__ import annotations
+
+from repro.boolean.booleanize import booleanize
+from repro.boolean.direct import solve_bijunctive_csp
+from repro.cq.canonical import canonical_database
+from repro.cq.containment import _check_compatible
+from repro.cq.query import ConjunctiveQuery
+from repro.exceptions import NotSchaeferError
+
+__all__ = ["is_two_atom_instance", "two_atom_contains"]
+
+
+def is_two_atom_instance(q1: ConjunctiveQuery) -> bool:
+    """Whether ``q1`` qualifies for Saraiya's algorithm.
+
+    The restriction is on ``Q1`` (the *contained* query) because its
+    canonical database is the homomorphism *target*.
+    """
+    return q1.is_two_atom
+
+
+def two_atom_contains(q1: ConjunctiveQuery, q2: ConjunctiveQuery) -> bool:
+    """Decide ``Q1 ⊆ Q2`` for a two-atom ``Q1`` in polynomial time.
+
+    Pipeline: canonical databases → Booleanization (Lemma 3.5) → direct
+    bijunctive solver (Theorem 3.4).  Raises :class:`NotSchaeferError`
+    when ``q1`` is not a two-atom query (use the general
+    :func:`repro.cq.containment.contains` instead).
+    """
+    if not is_two_atom_instance(q1):
+        raise NotSchaeferError(
+            "Saraiya's algorithm needs every predicate to occur at most "
+            "twice in the body of Q1"
+        )
+    _check_compatible(q1, q2)
+    union = q1.vocabulary.union(q2.vocabulary)
+    target = canonical_database(q1, union)   # at most 2 tuples per relation
+    source = canonical_database(q2, union)
+    boolean = booleanize(source, target)
+    return solve_bijunctive_csp(boolean.source, boolean.target) is not None

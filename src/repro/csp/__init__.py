@@ -1,0 +1,50 @@
+"""Constraint satisfaction: AI-style instances, propagation, baselines.
+
+The AI formulation of CSPs, its two-way bridge to the homomorphism problem
+(the paper's central identification), arc consistency, the generic
+backtracking baseline, and reproducible workload generators.
+"""
+
+from repro.csp.ac3 import establish_arc_consistency
+from repro.csp.backtracking import (
+    degree_order,
+    solve_backtracking,
+    solve_instance,
+)
+from repro.csp.generators import (
+    bounded_treewidth_structure,
+    coloring_instance,
+    random_boolean_target,
+    random_chain_query,
+    random_k_tree,
+    random_query,
+    random_schaefer_target,
+    random_star_query,
+    random_structure,
+    random_two_atom_query,
+)
+from repro.csp.instance import (
+    Constraint,
+    CSPInstance,
+    instance_from_homomorphism,
+)
+
+__all__ = [
+    "Constraint",
+    "CSPInstance",
+    "instance_from_homomorphism",
+    "establish_arc_consistency",
+    "solve_backtracking",
+    "solve_instance",
+    "degree_order",
+    "random_structure",
+    "random_boolean_target",
+    "random_schaefer_target",
+    "coloring_instance",
+    "random_chain_query",
+    "random_star_query",
+    "random_query",
+    "random_two_atom_query",
+    "random_k_tree",
+    "bounded_treewidth_structure",
+]

@@ -1,0 +1,77 @@
+"""(Generalized) arc consistency for homomorphism instances.
+
+AC-3-style propagation: for every fact of ``A`` (a constraint whose allowed
+tuples are the target relation) and every position, prune domain values
+with no supporting target tuple.  This is strong 2-consistency in the
+pebble-game terminology of Section 4 — the ``k = 2`` member of the
+k-consistency family implemented in :mod:`repro.pebble.kconsistency` — and
+the standard preprocessing step of the AI solvers the paper's introduction
+cites [Dec92, Kum92].
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable
+
+from repro.exceptions import VocabularyError
+from repro.structures.structure import Structure
+
+__all__ = ["establish_arc_consistency"]
+
+Element = Hashable
+Domains = dict[Element, set[Element]]
+
+
+def establish_arc_consistency(
+    source: Structure,
+    target: Structure,
+    domains: Domains | None = None,
+) -> Domains | None:
+    """Prune domains to (generalized) arc consistency.
+
+    Returns the pruned domains, or ``None`` on a domain wipe-out (which
+    proves no homomorphism exists).  Starting ``domains`` default to the
+    full target universe for every element of the source.
+    """
+    if source.vocabulary != target.vocabulary:
+        raise VocabularyError("instance structures must share a vocabulary")
+    if domains is None:
+        domains = {e: set(target.universe) for e in source.universe}
+    else:
+        domains = {e: set(values) for e, values in domains.items()}
+
+    facts = list(source.facts())
+    touching: dict[Element, list[int]] = {}
+    for index, (_name, fact) in enumerate(facts):
+        for element in set(fact):
+            touching.setdefault(element, []).append(index)
+
+    queue: deque[int] = deque(range(len(facts)))
+    queued = set(queue)
+
+    while queue:
+        index = queue.popleft()
+        queued.discard(index)
+        name, fact = facts[index]
+        relation = target.relation(name)
+        supported = [
+            t
+            for t in relation
+            if all(t[i] in domains[fact[i]] for i in range(len(fact)))
+        ]
+        for position, element in enumerate(fact):
+            values = {t[position] for t in supported}
+            if domains[element] <= values:
+                continue
+            domains[element] &= values
+            if not domains[element]:
+                return None
+            # Re-enqueue every fact touching the pruned element — including
+            # this one: pruning position i can retract support for position
+            # j of the same fact.
+            for other in touching.get(element, ()):
+                if other not in queued:
+                    queue.append(other)
+                    queued.add(other)
+    return domains

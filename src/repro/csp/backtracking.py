@@ -1,0 +1,69 @@
+"""The generic CSP solving facade over the homomorphism search.
+
+Thin conveniences over :mod:`repro.structures.homomorphism` that add the
+standard AI toolkit: optional arc-consistency preprocessing, a degree
+(static) variable-ordering heuristic, and AI-instance entry points.  This
+is the NP-complete general-case baseline against which every tractable
+class in the paper is benchmarked.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.csp.ac3 import establish_arc_consistency
+from repro.csp.instance import CSPInstance
+from repro.structures.homomorphism import SearchStats, find_homomorphism
+from repro.structures.structure import Structure, _sort_key
+
+__all__ = ["solve_backtracking", "solve_instance", "degree_order"]
+
+Element = Hashable
+
+
+def degree_order(source: Structure) -> list[Element]:
+    """Elements of the source sorted by decreasing number of occurrences.
+
+    The classic "degree" static variable-ordering heuristic.
+    """
+    occurrences = source.occurrences()
+    return sorted(
+        source.universe,
+        key=lambda e: (-len(occurrences[e]), _sort_key(e)),
+    )
+
+
+def solve_backtracking(
+    source: Structure,
+    target: Structure,
+    *,
+    preprocess: bool = True,
+    use_degree_order: bool = False,
+    stats: SearchStats | None = None,
+) -> dict[Element, Element] | None:
+    """Find a homomorphism with the generic backtracking solver.
+
+    ``preprocess=True`` runs (generalized) arc consistency first and bails
+    out early on a wipe-out.  ``use_degree_order=True`` replaces the
+    dynamic MRV ordering with the static degree heuristic.
+    """
+    if preprocess:
+        domains = establish_arc_consistency(source, target)
+        if domains is None:
+            return None
+    order = degree_order(source) if use_degree_order else None
+    return find_homomorphism(source, target, order=order, stats=stats)
+
+
+def solve_instance(
+    instance: CSPInstance, **kwargs
+) -> dict[Element, Element] | None:
+    """Solve an AI-style CSP instance via the homomorphism reduction.
+
+    The returned assignment maps the instance's variables to values.
+    """
+    source, target = instance.to_homomorphism()
+    hom = solve_backtracking(source, target, **kwargs)
+    if hom is None:
+        return None
+    return {v: hom[v] for v in instance.variables}

@@ -1,0 +1,280 @@
+"""Workload generators for tests, examples, and the benchmark harness.
+
+The paper evaluates nothing empirically, so this module provides the
+synthetic inputs that exercise each theorem's code path: random structures,
+Schaefer-class Boolean targets (closed under the defining polymorphism),
+coloring instances, random conjunctive queries of several shapes, and
+bounded-treewidth structures built from random k-trees.
+
+All generators take a ``seed`` so every experiment is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable
+
+from repro.boolean.relations import (
+    tuple_and,
+    tuple_majority,
+    tuple_or,
+    tuple_xor3,
+)
+from repro.cq.query import Atom, ConjunctiveQuery
+from repro.structures.structure import Structure
+from repro.structures.vocabulary import Vocabulary
+
+__all__ = [
+    "random_structure",
+    "random_boolean_target",
+    "random_schaefer_target",
+    "coloring_instance",
+    "random_chain_query",
+    "random_star_query",
+    "random_query",
+    "random_two_atom_query",
+    "random_k_tree",
+    "bounded_treewidth_structure",
+]
+
+Element = Hashable
+
+
+def random_structure(
+    vocabulary: Vocabulary,
+    n: int,
+    facts_per_relation: int,
+    *,
+    seed: int | None = None,
+) -> Structure:
+    """A random structure over ``vocabulary`` with ``n`` elements."""
+    rng = random.Random(seed)
+    relations = {
+        symbol.name: {
+            tuple(rng.randrange(n) for _ in range(symbol.arity))
+            for _ in range(facts_per_relation)
+        }
+        for symbol in vocabulary
+    }
+    return Structure(vocabulary, range(n), relations)
+
+
+def _close_under(tuples: set, operation, arity_of_op: int) -> frozenset:
+    closed = set(tuples)
+    while True:
+        if arity_of_op == 2:
+            new = {operation(a, b) for a in closed for b in closed}
+        else:
+            new = {
+                operation(a, b, c)
+                for a in closed
+                for b in closed
+                for c in closed
+            }
+        if new <= closed:
+            return frozenset(closed)
+        closed |= new
+
+
+def random_boolean_target(
+    vocabulary: Vocabulary,
+    tuples_per_relation: int,
+    *,
+    closure: str | None = None,
+    seed: int | None = None,
+) -> Structure:
+    """A random Boolean structure, optionally closed into a Schaefer class.
+
+    ``closure`` is one of ``None``, ``"horn"``, ``"dual_horn"``,
+    ``"bijunctive"``, ``"affine"``; random tuples are closed under the
+    matching polymorphism (AND / OR / majority / ternary XOR), which by
+    the criteria of Theorem 3.1 guarantees class membership.
+    """
+    rng = random.Random(seed)
+    operations = {
+        "horn": (tuple_and, 2),
+        "dual_horn": (tuple_or, 2),
+        "bijunctive": (tuple_majority, 3),
+        "affine": (tuple_xor3, 3),
+    }
+    relations = {}
+    for symbol in vocabulary:
+        tuples = {
+            tuple(rng.randint(0, 1) for _ in range(symbol.arity))
+            for _ in range(tuples_per_relation)
+        }
+        if closure is not None:
+            operation, op_arity = operations[closure]
+            if tuples:
+                tuples = set(_close_under(tuples, operation, op_arity))
+        relations[symbol.name] = tuples
+    return Structure(vocabulary, {0, 1}, relations)
+
+
+def random_schaefer_target(
+    vocabulary: Vocabulary,
+    tuples_per_relation: int,
+    schaefer_class: str,
+    *,
+    seed: int | None = None,
+) -> Structure:
+    """Alias of :func:`random_boolean_target` with a mandatory class."""
+    return random_boolean_target(
+        vocabulary,
+        tuples_per_relation,
+        closure=schaefer_class,
+        seed=seed,
+    )
+
+
+def coloring_instance(
+    graph: Structure, colors: int
+) -> tuple[Structure, Structure]:
+    """The k-coloring instance ``(G, K_k)`` of Section 2."""
+    from repro.structures.graphs import clique
+
+    return graph, clique(colors)
+
+
+def random_chain_query(
+    length: int, relation: str = "E", *, seed: int | None = None
+) -> ConjunctiveQuery:
+    """A chain (path) query ``Q(X0, Xn) :- E(X0,X1), …, E(Xn-1,Xn)``."""
+    if length < 1:
+        raise ValueError("chain length must be at least 1")
+    atoms = [
+        Atom(relation, (f"X{i}", f"X{i + 1}")) for i in range(length)
+    ]
+    return ConjunctiveQuery(("X0", f"X{length}"), atoms)
+
+
+def random_star_query(
+    rays: int, relation: str = "E", *, seed: int | None = None
+) -> ConjunctiveQuery:
+    """A star query ``Q(C) :- E(C,X1), …, E(C,Xn)``."""
+    if rays < 1:
+        raise ValueError("star needs at least one ray")
+    atoms = [Atom(relation, ("C", f"X{i}")) for i in range(rays)]
+    return ConjunctiveQuery(("C",), atoms)
+
+
+def random_query(
+    num_atoms: int,
+    num_variables: int,
+    vocabulary: Vocabulary,
+    head_width: int = 1,
+    *,
+    seed: int | None = None,
+) -> ConjunctiveQuery:
+    """A random conjunctive query over the given vocabulary."""
+    rng = random.Random(seed)
+    variables = [f"X{i}" for i in range(num_variables)]
+    symbols = list(vocabulary)
+    atoms = [
+        Atom(
+            (symbol := rng.choice(symbols)).name,
+            tuple(rng.choice(variables) for _ in range(symbol.arity)),
+        )
+        for _ in range(num_atoms)
+    ]
+    head = tuple(rng.choice(variables) for _ in range(head_width))
+    return ConjunctiveQuery(head, atoms)
+
+
+def random_two_atom_query(
+    num_relations: int,
+    num_variables: int,
+    arity: int = 2,
+    head_width: int = 1,
+    *,
+    seed: int | None = None,
+) -> ConjunctiveQuery:
+    """A random query where every predicate occurs at most twice.
+
+    Generates up to two atoms over each of ``num_relations`` predicates —
+    the inputs of Saraiya's tractable containment case (Proposition 3.6).
+    """
+    rng = random.Random(seed)
+    variables = [f"X{i}" for i in range(num_variables)]
+    atoms = []
+    for index in range(num_relations):
+        for _ in range(rng.randint(1, 2)):
+            atoms.append(
+                Atom(
+                    f"R{index}",
+                    tuple(rng.choice(variables) for _ in range(arity)),
+                )
+            )
+    head = tuple(rng.choice(variables) for _ in range(head_width))
+    return ConjunctiveQuery(head, atoms)
+
+
+def random_k_tree(
+    n: int, width: int, *, seed: int | None = None
+) -> tuple[
+    list[tuple[int, int]],
+    list[frozenset[int]],
+    list[tuple[int, int]],
+]:
+    """A random k-tree: edges, decomposition bags, and the bag tree.
+
+    Builds the standard k-tree process — start from a (width+1)-clique,
+    then attach each new vertex to ``width`` members of a random existing
+    clique — and returns ``(edges, bags, tree_edges)`` where ``bags`` with
+    ``tree_edges`` (pairs of bag indices) form a valid width-``width`` tree
+    decomposition.
+    """
+    if n < width + 1:
+        raise ValueError("need at least width+1 vertices")
+    rng = random.Random(seed)
+    base = list(range(width + 1))
+    edges = [
+        (i, j) for i in base for j in base if i < j
+    ]
+    bags: list[frozenset[int]] = [frozenset(base)]
+    tree_edges: list[tuple[int, int]] = []
+    cliques: list[tuple[int, ...]] = [tuple(base)]
+    for vertex in range(width + 1, n):
+        host_index = rng.randrange(len(cliques))
+        host = list(cliques[host_index])
+        rng.shuffle(host)
+        kept = host[:width]
+        edges.extend((min(vertex, u), max(vertex, u)) for u in kept)
+        new_clique = tuple(kept + [vertex])
+        cliques.append(new_clique)
+        bags.append(frozenset(new_clique))
+        # The new bag's non-new vertices all lie in the host bag, so
+        # attaching it there preserves the connectivity condition.
+        tree_edges.append((host_index, len(bags) - 1))
+    return edges, bags, tree_edges
+
+
+def bounded_treewidth_structure(
+    n: int,
+    width: int,
+    *,
+    edge_keep_probability: float = 1.0,
+    seed: int | None = None,
+) -> tuple[Structure, list[frozenset[int]], list[tuple[int, int]]]:
+    """A random structure of treewidth ≤ ``width`` plus a certificate.
+
+    The structure is a directed-graph structure over ``{E/2}`` whose
+    Gaifman graph is a (sub)graph of a random k-tree; the returned
+    ``(bags, tree_edges)`` form a valid width-``width`` tree decomposition
+    for it.
+    """
+    rng = random.Random(seed)
+    edges, bags, tree_edges = random_k_tree(
+        n, width, seed=rng.randrange(2**30)
+    )
+    kept = [
+        e for e in edges if rng.random() < edge_keep_probability
+    ]
+    from repro.structures.graphs import GRAPH_VOCABULARY
+
+    structure = Structure(
+        GRAPH_VOCABULARY,
+        range(n),
+        {"E": set(kept)},
+    )
+    return structure, bags, tree_edges

@@ -1,0 +1,126 @@
+"""AI-style constraint-satisfaction instances and the homomorphism bridge.
+
+The AI literature states a CSP as variables + domains + constraints; the
+paper's Section 2 recasts it as the homomorphism problem.  This module
+implements both views and the two-way translation, making the paper's
+"essentially the same problem" observation executable:
+
+* :meth:`CSPInstance.to_homomorphism` builds the structure pair ``(A, B)``
+  — one relation per constraint, scopes as facts of ``A``, allowed tuples
+  as facts of ``B``, plus one unary relation per variable for its domain;
+* :func:`instance_from_homomorphism` reads a structure pair back as a CSP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Mapping, Sequence
+
+from repro.exceptions import VocabularyError
+from repro.structures.structure import Structure
+from repro.structures.vocabulary import Vocabulary
+
+__all__ = ["Constraint", "CSPInstance", "instance_from_homomorphism"]
+
+Variable = Hashable
+Value = Hashable
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A constraint: a scope of variables and the set of allowed tuples."""
+
+    scope: tuple[Variable, ...]
+    allowed: frozenset[tuple[Value, ...]]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "scope", tuple(self.scope))
+        cleaned = frozenset(tuple(t) for t in self.allowed)
+        for t in cleaned:
+            if len(t) != len(self.scope):
+                raise VocabularyError(
+                    f"allowed tuple {t!r} does not match scope width "
+                    f"{len(self.scope)}"
+                )
+        object.__setattr__(self, "allowed", cleaned)
+
+    def satisfied_by(self, assignment: Mapping[Variable, Value]) -> bool:
+        return tuple(assignment[v] for v in self.scope) in self.allowed
+
+
+class CSPInstance:
+    """A constraint-satisfaction instance in the AI formulation."""
+
+    def __init__(
+        self,
+        variables: Sequence[Variable],
+        domains: Mapping[Variable, Iterable[Value]],
+        constraints: Iterable[Constraint],
+    ) -> None:
+        self.variables = list(variables)
+        self.domains = {v: set(domains[v]) for v in self.variables}
+        self.constraints = list(constraints)
+        for constraint in self.constraints:
+            for v in constraint.scope:
+                if v not in self.domains:
+                    raise VocabularyError(
+                        f"constraint scope variable {v!r} is undeclared"
+                    )
+
+    def is_solution(self, assignment: Mapping[Variable, Value]) -> bool:
+        """Whether a total assignment satisfies domains and constraints."""
+        for v in self.variables:
+            if v not in assignment or assignment[v] not in self.domains[v]:
+                return False
+        return all(c.satisfied_by(assignment) for c in self.constraints)
+
+    def to_homomorphism(self) -> tuple[Structure, Structure]:
+        """The structure pair ``(A, B)`` with solutions = homomorphisms.
+
+        Relation ``C«i»`` (one per constraint) holds the scope in A and
+        the allowed tuples in B; relation ``D«i»`` (one per variable)
+        holds ``(v,)`` in A and the domain values in B.
+        """
+        arities: dict[str, int] = {}
+        a_relations: dict[str, set[tuple]] = {}
+        b_relations: dict[str, set[tuple]] = {}
+        for index, constraint in enumerate(self.constraints):
+            name = f"C{index}"
+            arities[name] = len(constraint.scope)
+            a_relations[name] = {constraint.scope}
+            b_relations[name] = set(constraint.allowed)
+        for index, variable in enumerate(self.variables):
+            name = f"D{index}"
+            arities[name] = 1
+            a_relations[name] = {(variable,)}
+            b_relations[name] = {(value,) for value in self.domains[variable]}
+        vocabulary = Vocabulary.from_arities(arities)
+        values = set()
+        for domain in self.domains.values():
+            values.update(domain)
+        for constraint in self.constraints:
+            for t in constraint.allowed:
+                values.update(t)
+        source = Structure(vocabulary, self.variables, a_relations)
+        target = Structure(vocabulary, values, b_relations)
+        return source, target
+
+
+def instance_from_homomorphism(
+    source: Structure, target: Structure
+) -> CSPInstance:
+    """Read a homomorphism instance ``(A, B)`` as an AI-style CSP.
+
+    Variables are the elements of A, every domain is the universe of B,
+    and each fact of A contributes one constraint whose allowed tuples are
+    the corresponding relation of B.
+    """
+    if source.vocabulary != target.vocabulary:
+        raise VocabularyError("instance structures must share a vocabulary")
+    variables = list(source.sorted_universe)
+    domains = {v: set(target.universe) for v in variables}
+    constraints = [
+        Constraint(fact, frozenset(target.relation(name)))
+        for name, fact in source.facts()
+    ]
+    return CSPInstance(variables, domains, constraints)

@@ -1,0 +1,27 @@
+"""Datalog and constraint satisfaction (Section 4).
+
+A bottom-up Datalog engine (semi-naive evaluation), k-Datalog membership
+checks, and the canonical program ρ_B of Theorem 4.7.2 that expresses
+"the Spoiler wins the existential k-pebble game on (A, B)".
+"""
+
+from repro.datalog.canonical_program import GOAL_NAME, canonical_program
+from repro.datalog.evaluation import Database, evaluate_program, goal_holds
+from repro.datalog.program import (
+    DatalogProgram,
+    Rule,
+    parse_program,
+    parse_rule,
+)
+
+__all__ = [
+    "Rule",
+    "DatalogProgram",
+    "parse_rule",
+    "parse_program",
+    "evaluate_program",
+    "goal_holds",
+    "Database",
+    "canonical_program",
+    "GOAL_NAME",
+]

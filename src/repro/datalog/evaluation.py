@@ -1,0 +1,174 @@
+"""Bottom-up Datalog evaluation (least fixed-point semantics).
+
+Semi-naive evaluation: each round re-fires only rules with an IDB body atom
+whose relation gained facts in the previous round, terminating at the least
+fixed point in polynomially many steps (Section 4.1: "the bottom-up
+evaluation of the least fixed-point of the program terminates within a
+polynomial number of steps").
+
+Unsafe head variables — head variables not occurring in the body — range
+over the *active domain* of the input structure, the finitary-conjunction
+reading the paper uses when deriving the canonical program ρ_B from the
+LFP formula of Theorem 4.7.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping
+
+from repro.cq.query import Atom
+from repro.datalog.program import DatalogProgram, Rule
+from repro.exceptions import DatalogError
+from repro.structures.structure import Structure, _sort_key
+
+__all__ = ["evaluate_program", "goal_holds", "Database"]
+
+Element = Hashable
+Row = tuple[Element, ...]
+Database = dict[str, set[Row]]
+
+
+def _match_atom(
+    atom: Atom,
+    relation: Iterable[Row],
+    bindings: list[dict[str, Element]],
+) -> list[dict[str, Element]]:
+    """Extend each binding with matches of ``atom`` against ``relation``."""
+    extended: list[dict[str, Element]] = []
+    rows = list(relation)
+    for binding in bindings:
+        for row in rows:
+            candidate = dict(binding)
+            ok = True
+            for term, value in zip(atom.terms, row):
+                existing = candidate.get(term)
+                if existing is None:
+                    candidate[term] = value
+                elif existing != value:
+                    ok = False
+                    break
+            if ok:
+                extended.append(candidate)
+    return extended
+
+
+def _fire_rule(
+    rule: Rule,
+    relations: Mapping[str, set[Row]],
+    domain: list[Element],
+    delta_focus: tuple[int, set[Row]] | None,
+) -> set[Row]:
+    """All head tuples derivable by one rule.
+
+    ``delta_focus = (body index, delta rows)`` restricts that one body atom
+    to the newly derived rows (the semi-naive trick); ``None`` evaluates
+    the rule in full.
+    """
+    bindings: list[dict[str, Element]] = [{}]
+    for index, atom in enumerate(rule.body):
+        if delta_focus is not None and index == delta_focus[0]:
+            rows: Iterable[Row] = delta_focus[1]
+        else:
+            rows = relations.get(atom.relation, set())
+        bindings = _match_atom(atom, rows, bindings)
+        if not bindings:
+            return set()
+
+    unsafe = sorted(rule.unsafe_variables)
+    derived: set[Row] = set()
+    for binding in bindings:
+        assignments = [binding]
+        for variable in unsafe:
+            assignments = [
+                {**assignment, variable: value}
+                for assignment in assignments
+                for value in domain
+            ]
+        for assignment in assignments:
+            derived.add(
+                tuple(assignment[t] for t in rule.head.terms)
+            )
+    return derived
+
+
+def evaluate_program(
+    program: DatalogProgram,
+    structure: Structure,
+    *,
+    method: str = "semi_naive",
+) -> Database:
+    """Compute the least fixed point of the program on ``structure``.
+
+    The structure provides the EDB relations (missing EDB predicates are
+    empty); the result maps every predicate — EDB and IDB — to its final
+    set of facts.  ``method`` selects ``"semi_naive"`` (default) or
+    ``"naive"`` (every rule re-fired in full each round; kept as the
+    ablation baseline for experiment A4 — both must compute the same
+    fixpoint).
+    """
+    if method not in ("semi_naive", "naive"):
+        raise DatalogError(f"unknown evaluation method {method!r}")
+    relations: Database = {}
+    for symbol, rel in structure.relations():
+        expected = program._arities.get(symbol.name)
+        if expected is not None and expected != symbol.arity:
+            raise DatalogError(
+                f"EDB predicate {symbol.name!r} has arity {symbol.arity} "
+                f"in the structure but {expected} in the program"
+            )
+        relations[symbol.name] = set(rel)
+    for predicate in program.idb_predicates:
+        if predicate in relations and relations[predicate]:
+            raise DatalogError(
+                f"IDB predicate {predicate!r} already populated by the "
+                "input structure"
+            )
+        relations.setdefault(predicate, set())
+    for predicate in program.edb_predicates:
+        relations.setdefault(predicate, set())
+
+    domain = sorted(structure.universe, key=_sort_key)
+
+    if method == "naive":
+        changed = True
+        while changed:
+            changed = False
+            for rule in program.rules:
+                new = _fire_rule(rule, relations, domain, None)
+                fresh = new - relations[rule.head.relation]
+                if fresh:
+                    relations[rule.head.relation] |= fresh
+                    changed = True
+        return relations
+
+    # Round 0: fire every rule in full.
+    delta: Database = {p: set() for p in program.idb_predicates}
+    for rule in program.rules:
+        new = _fire_rule(rule, relations, domain, None)
+        fresh = new - relations[rule.head.relation]
+        relations[rule.head.relation] |= fresh
+        delta[rule.head.relation] |= fresh
+
+    # Semi-naive rounds: a rule re-fires once per body atom whose predicate
+    # changed, with that atom restricted to the delta.
+    while any(delta.values()):
+        next_delta: Database = {p: set() for p in program.idb_predicates}
+        for rule in program.rules:
+            for index, atom in enumerate(rule.body):
+                changed = delta.get(atom.relation)
+                if not changed:
+                    continue
+                new = _fire_rule(
+                    rule, relations, domain, (index, changed)
+                )
+                fresh = new - relations[rule.head.relation]
+                relations[rule.head.relation] |= fresh
+                next_delta[rule.head.relation] |= fresh
+        delta = next_delta
+    return relations
+
+
+def goal_holds(program: DatalogProgram, structure: Structure) -> bool:
+    """Truth of the (0-ary or n-ary) goal: non-emptiness of its relation."""
+    relations = evaluate_program(program, structure)
+    return bool(relations[program.goal])

@@ -1,0 +1,167 @@
+"""Datalog programs (Section 4.1 of the paper).
+
+A Datalog program is a finite set of rules ``t₀ :- t₁, …, t_m`` of atomic
+formulas.  Head predicates are the intensional database predicates (IDBs);
+the rest are extensional (EDBs).  One IDB is the *goal*.  Semantics are
+least fixed-points of the immediate-consequence operator, computed
+bottom-up in polynomial time (see :mod:`repro.datalog.evaluation`).
+
+``k-Datalog`` (the class the paper's Theorem 4.9 is about) restricts every
+rule to at most ``k`` distinct variables in the body and at most ``k`` in
+the head.
+
+The paper's rules may be *unsafe* — head variables that do not occur in the
+body (this happens in the canonical program ρ_B of Theorem 4.7.2, whose
+first rule kind has an empty body).  Our engine interprets such variables
+as ranging over the active domain of the input structure, the standard
+reading of the paper's construction where "universal quantifiers … can be
+replaced by finitary conjunctions over the elements".
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.cq.parser import parse_atom_list, _ATOM_RE, _parse_terms
+from repro.cq.query import Atom
+from repro.exceptions import DatalogError
+from repro.structures.vocabulary import Vocabulary
+
+__all__ = ["Rule", "DatalogProgram", "parse_program", "parse_rule"]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A Datalog rule ``head :- body``; an empty body is allowed."""
+
+    head: Atom
+    body: tuple[Atom, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "body", tuple(self.body))
+
+    @property
+    def head_variables(self) -> frozenset[str]:
+        return frozenset(self.head.terms)
+
+    @property
+    def body_variables(self) -> frozenset[str]:
+        names: set[str] = set()
+        for atom in self.body:
+            names.update(atom.terms)
+        return frozenset(names)
+
+    @property
+    def unsafe_variables(self) -> frozenset[str]:
+        """Head variables not bound by the body (domain-expanded)."""
+        return self.head_variables - self.body_variables
+
+    def num_distinct_variables(self) -> tuple[int, int]:
+        """(body variable count, head variable count) for k-Datalog checks."""
+        return len(self.body_variables), len(self.head_variables)
+
+    def __str__(self) -> str:
+        if not self.body:
+            return f"{self.head} :- ."
+        return f"{self.head} :- {', '.join(map(str, self.body))}."
+
+
+class DatalogProgram:
+    """A Datalog program with a designated goal predicate."""
+
+    def __init__(self, rules: Iterable[Rule], goal: str) -> None:
+        self.rules = tuple(rules)
+        self.goal = goal
+        self._validate()
+
+    def _validate(self) -> None:
+        arities: dict[str, int] = {}
+        for rule in self.rules:
+            for atom in (rule.head, *rule.body):
+                existing = arities.get(atom.relation)
+                if existing is not None and existing != atom.arity:
+                    raise DatalogError(
+                        f"predicate {atom.relation!r} used with arities "
+                        f"{existing} and {atom.arity}"
+                    )
+                arities[atom.relation] = atom.arity
+        if self.goal not in self.idb_predicates:
+            raise DatalogError(
+                f"goal {self.goal!r} is not the head of any rule"
+            )
+        self._arities = arities
+
+    @property
+    def idb_predicates(self) -> frozenset[str]:
+        return frozenset(rule.head.relation for rule in self.rules)
+
+    @property
+    def edb_predicates(self) -> frozenset[str]:
+        used: set[str] = set()
+        for rule in self.rules:
+            used.update(atom.relation for atom in rule.body)
+        return frozenset(used) - self.idb_predicates
+
+    def edb_vocabulary(self) -> Vocabulary:
+        """The vocabulary of the extensional predicates."""
+        return Vocabulary.from_arities(
+            {name: self._arities[name] for name in self.edb_predicates}
+        )
+
+    def arity(self, predicate: str) -> int:
+        return self._arities[predicate]
+
+    def max_distinct_variables(self) -> int:
+        """The smallest k such that the program is in k-Datalog."""
+        best = 0
+        for rule in self.rules:
+            body_count, head_count = rule.num_distinct_variables()
+            best = max(best, body_count, head_count)
+        return best
+
+    def is_k_datalog(self, k: int) -> bool:
+        """Membership in k-Datalog (≤ k distinct variables per rule body
+        and per rule head)."""
+        return self.max_distinct_variables() <= k
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __str__(self) -> str:
+        return "\n".join(str(rule) for rule in self.rules)
+
+
+def parse_rule(text: str) -> Rule:
+    """Parse one rule, e.g. ``P(X, Y) :- P(X, Z), E(Z, Y)`` (or a bare
+    body-less head ``T(X)``)."""
+    text = text.strip()
+    if text.endswith("."):
+        text = text[:-1]
+    if ":-" in text:
+        head_text, body_text = text.split(":-", 1)
+    else:
+        head_text, body_text = text, ""
+    match = _ATOM_RE.fullmatch(head_text)
+    if not match:
+        raise DatalogError(f"cannot parse rule head {head_text!r}")
+    terms = (
+        _parse_terms(match.group(2), head_text)
+        if match.group(2) is not None
+        else ()
+    )
+    head = Atom(match.group(1), terms)
+    body = tuple(parse_atom_list(body_text))
+    return Rule(head, body)
+
+
+def parse_program(text: str, goal: str) -> DatalogProgram:
+    """Parse a multi-line program; ``#`` and ``%`` start comments."""
+    rules = []
+    for line in text.splitlines():
+        line = re.sub(r"[#%].*$", "", line).strip()
+        if not line:
+            continue
+        rules.append(parse_rule(line))
+    return DatalogProgram(rules, goal)

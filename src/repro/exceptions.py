@@ -1,0 +1,46 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised on purpose by the library derives from :class:`ReproError`,
+so callers can catch library failures with a single ``except`` clause while
+letting genuine bugs (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class VocabularyError(ReproError):
+    """A structure, query, or program uses relation symbols inconsistently.
+
+    Raised when arities clash, when two structures over supposedly the same
+    vocabulary disagree on a symbol, or when a fact's width does not match
+    its relation symbol.
+    """
+
+
+class ParseError(ReproError):
+    """A textual query, program, or structure description is malformed."""
+
+
+class NotBooleanError(ReproError):
+    """An operation requiring a Boolean structure got a non-Boolean one.
+
+    Boolean structures are structures whose universe is exactly ``{0, 1}``
+    (Section 3 of the paper).
+    """
+
+
+class NotSchaeferError(ReproError):
+    """A Schaefer-only algorithm was applied to a non-Schaefer structure."""
+
+
+class DecompositionError(ReproError):
+    """A tree decomposition is invalid or does not match its structure."""
+
+
+class DatalogError(ReproError):
+    """A Datalog program is malformed (unsafe in an unsupported way,
+    inconsistent arities, undefined goal, ...)."""

@@ -1,0 +1,36 @@
+"""Bounded-variable existential positive first-order logic (∃FOᵏ).
+
+The logical side of Sections 4–5: k-variable syntax, a polynomial
+bottom-up evaluator [Var95], and the Lemma 5.2 translation from
+bounded-treewidth structures to ∃FO^{k+1} sentences.
+"""
+
+from repro.fo.evaluation import Relation, evaluate_formula, satisfies
+from repro.fo.from_decomposition import (
+    homomorphism_exists_by_fo,
+    structure_to_formula,
+)
+from repro.fo.syntax import (
+    AndF,
+    AtomF,
+    ExistsF,
+    Formula,
+    OrF,
+    TrueF,
+    num_slots,
+)
+
+__all__ = [
+    "Formula",
+    "AtomF",
+    "AndF",
+    "OrF",
+    "ExistsF",
+    "TrueF",
+    "num_slots",
+    "evaluate_formula",
+    "satisfies",
+    "Relation",
+    "structure_to_formula",
+    "homomorphism_exists_by_fo",
+]

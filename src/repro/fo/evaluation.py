@@ -1,0 +1,146 @@
+"""Bottom-up evaluation of ∃FOᵏ formulas over finite structures.
+
+Theorem 5.4 rests on the fact that ∃FO^{k+1} has polynomial-time
+*combined* complexity [Var95]: every subformula has at most k+1 free
+variables, so each intermediate relation has at most |B|^{k+1} rows.  The
+evaluator computes, per subformula, the set of satisfying assignments as a
+relation over the subformula's free slots:
+
+* atoms read the structure (handling repeated slots);
+* conjunction is a natural join;
+* disjunction is a union after padding each disjunct to the union of free
+  slots (active-domain semantics);
+* existential quantification is a projection.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.fo.syntax import AndF, AtomF, ExistsF, Formula, OrF, TrueF
+from repro.structures.structure import Structure, _sort_key
+
+__all__ = ["evaluate_formula", "satisfies", "Relation"]
+
+Element = Hashable
+
+
+class Relation:
+    """An intermediate result: a column list (slots) and a set of rows."""
+
+    __slots__ = ("columns", "rows")
+
+    def __init__(
+        self, columns: tuple[int, ...], rows: set[tuple[Element, ...]]
+    ) -> None:
+        self.columns = columns
+        self.rows = rows
+
+    def __repr__(self) -> str:
+        return f"Relation(columns={self.columns}, rows={len(self.rows)})"
+
+
+def _join(left: Relation, right: Relation) -> Relation:
+    shared = [c for c in left.columns if c in right.columns]
+    right_only = [c for c in right.columns if c not in left.columns]
+    left_pos = {c: i for i, c in enumerate(left.columns)}
+    right_pos = {c: i for i, c in enumerate(right.columns)}
+    index: dict[tuple, list[tuple]] = {}
+    for row in right.rows:
+        key = tuple(row[right_pos[c]] for c in shared)
+        index.setdefault(key, []).append(
+            tuple(row[right_pos[c]] for c in right_only)
+        )
+    columns = left.columns + tuple(right_only)
+    rows: set[tuple[Element, ...]] = set()
+    for row in left.rows:
+        key = tuple(row[left_pos[c]] for c in shared)
+        for extension in index.get(key, ()):
+            rows.add(row + extension)
+    return Relation(columns, rows)
+
+
+def _pad(relation: Relation, columns: tuple[int, ...], domain) -> Relation:
+    """Extend a relation to a wider column set (cross with the domain)."""
+    missing = [c for c in columns if c not in relation.columns]
+    pos = {c: i for i, c in enumerate(relation.columns)}
+    rows: set[tuple[Element, ...]] = set()
+    assignments: list[tuple[Element, ...]] = [()]
+    for _c in missing:
+        assignments = [a + (v,) for a in assignments for v in domain]
+    for row in relation.rows:
+        base = {c: row[pos[c]] for c in relation.columns}
+        for extra in assignments:
+            for c, v in zip(missing, extra):
+                base[c] = v
+            rows.add(tuple(base[c] for c in columns))
+    return Relation(columns, rows)
+
+
+def evaluate_formula(formula: Formula, structure: Structure) -> Relation:
+    """The satisfying assignments of ``formula`` over its free slots."""
+    domain = tuple(sorted(structure.universe, key=_sort_key))
+
+    def recurse(node: Formula) -> Relation:
+        if isinstance(node, TrueF):
+            return Relation((), {()})
+        if isinstance(node, AtomF):
+            columns: list[int] = []
+            for slot in node.slots:
+                if slot not in columns:
+                    columns.append(slot)
+            rows: set[tuple[Element, ...]] = set()
+            for fact in structure.relation(node.relation):
+                values: dict[int, Element] = {}
+                ok = True
+                for slot, value in zip(node.slots, fact):
+                    if values.setdefault(slot, value) != value:
+                        ok = False
+                        break
+                if ok:
+                    rows.add(tuple(values[c] for c in columns))
+            return Relation(tuple(columns), rows)
+        if isinstance(node, AndF):
+            result = Relation((), {()})
+            for part in node.parts:
+                result = _join(result, recurse(part))
+                if not result.rows:
+                    # Short-circuit, but keep the full column set so the
+                    # caller sees consistent arity.
+                    free = tuple(sorted(node.free_slots()))
+                    return Relation(free, set())
+            # Re-order columns deterministically.
+            free = tuple(sorted(node.free_slots()))
+            pos = {c: i for i, c in enumerate(result.columns)}
+            rows = {
+                tuple(row[pos[c]] for c in free) for row in result.rows
+            }
+            return Relation(free, rows)
+        if isinstance(node, OrF):
+            free = tuple(sorted(node.free_slots()))
+            rows: set[tuple[Element, ...]] = set()
+            for part in node.parts:
+                padded = _pad(recurse(part), free, domain)
+                rows |= padded.rows
+            return Relation(free, rows)
+        if isinstance(node, ExistsF):
+            inner = recurse(node.body)
+            keep = tuple(c for c in inner.columns if c != node.slot)
+            pos = {c: i for i, c in enumerate(inner.columns)}
+            if node.slot not in pos:
+                # Vacuous quantification still requires a witness element.
+                if not domain:
+                    return Relation(keep, set())
+                return inner
+            rows = {
+                tuple(row[pos[c]] for c in keep) for row in inner.rows
+            }
+            return Relation(keep, rows)
+        raise TypeError(f"unknown formula node {node!r}")
+
+    return recurse(formula)
+
+
+def satisfies(structure: Structure, formula: Formula) -> bool:
+    """Truth of a sentence (or non-emptiness of an open formula)."""
+    return bool(evaluate_formula(formula, structure).rows)

@@ -1,0 +1,145 @@
+"""Syntax of ∃FOᵏ — existential positive first-order logic with k
+variables (Sections 4.1 and 5 of the paper).
+
+Formulas are built from atoms using conjunction, disjunction, and
+existential quantification only, over a fixed supply of *variable slots*
+``x₀, …, x_{k−1}``.  Reusing a quantified slot deeper in the formula is
+exactly what makes the logic "k-variable": Lemma 5.2 shows a structure of
+treewidth ``k`` translates into an ∃FO^{k+1} sentence, and Theorem 5.4
+exploits the polynomial combined complexity of evaluating such sentences
+[Var95].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["Formula", "AtomF", "AndF", "OrF", "ExistsF", "TrueF", "num_slots"]
+
+
+class Formula:
+    """Base class of ∃FOᵏ formulas over integer variable slots."""
+
+    def free_slots(self) -> frozenset[int]:
+        raise NotImplementedError
+
+    def subformulas(self) -> Iterator["Formula"]:
+        """Depth-first iteration over all subformulas (self included)."""
+        yield self
+
+    def slots_used(self) -> frozenset[int]:
+        """Every slot syntactically occurring (free or bound)."""
+        used: set[int] = set()
+        for sub in self.subformulas():
+            if isinstance(sub, AtomF):
+                used.update(sub.slots)
+            elif isinstance(sub, ExistsF):
+                used.add(sub.slot)
+        return frozenset(used)
+
+
+@dataclass(frozen=True)
+class TrueF(Formula):
+    """The empty conjunction (always true)."""
+
+    def free_slots(self) -> frozenset[int]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return "⊤"
+
+
+@dataclass(frozen=True)
+class AtomF(Formula):
+    """An atom ``R(x_{s₁}, …, x_{s_r})`` over variable slots."""
+
+    relation: str
+    slots: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "slots", tuple(self.slots))
+        if any(s < 0 for s in self.slots):
+            raise ValueError("variable slots must be non-negative")
+
+    def free_slots(self) -> frozenset[int]:
+        return frozenset(self.slots)
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"x{s}" for s in self.slots)
+        return f"{self.relation}({inner})"
+
+
+@dataclass(frozen=True)
+class AndF(Formula):
+    """A conjunction of subformulas."""
+
+    parts: tuple[Formula, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "parts", tuple(self.parts))
+
+    def free_slots(self) -> frozenset[int]:
+        free: set[int] = set()
+        for part in self.parts:
+            free |= part.free_slots()
+        return frozenset(free)
+
+    def subformulas(self) -> Iterator[Formula]:
+        yield self
+        for part in self.parts:
+            yield from part.subformulas()
+
+    def __str__(self) -> str:
+        if not self.parts:
+            return "⊤"
+        return "(" + " ∧ ".join(str(p) for p in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class OrF(Formula):
+    """A disjunction of subformulas."""
+
+    parts: tuple[Formula, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "parts", tuple(self.parts))
+
+    def free_slots(self) -> frozenset[int]:
+        free: set[int] = set()
+        for part in self.parts:
+            free |= part.free_slots()
+        return frozenset(free)
+
+    def subformulas(self) -> Iterator[Formula]:
+        yield self
+        for part in self.parts:
+            yield from part.subformulas()
+
+    def __str__(self) -> str:
+        if not self.parts:
+            return "⊥"
+        return "(" + " ∨ ".join(str(p) for p in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class ExistsF(Formula):
+    """Existential quantification of one slot: ``∃x_s φ``."""
+
+    slot: int
+    body: Formula
+
+    def free_slots(self) -> frozenset[int]:
+        return self.body.free_slots() - {self.slot}
+
+    def subformulas(self) -> Iterator[Formula]:
+        yield self
+        yield from self.body.subformulas()
+
+    def __str__(self) -> str:
+        return f"∃x{self.slot} {self.body}"
+
+
+def num_slots(formula: Formula) -> int:
+    """The number of distinct variable slots used — the "k" of ∃FOᵏ."""
+    return len(formula.slots_used())

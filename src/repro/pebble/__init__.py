@@ -1,0 +1,26 @@
+"""Existential k-pebble games and strong k-consistency (Section 4).
+
+Two independent O(n^{2k}) implementations of the game fixpoint — the
+pair-set form in :mod:`repro.pebble.game` and the per-domain-table form in
+:mod:`repro.pebble.kconsistency` — realizing the uniform algorithm of
+Theorem 4.9.
+"""
+
+from repro.pebble.game import (
+    PebbleGameResult,
+    duplicator_wins,
+    kconsistency_closure,
+    solve_pebble_game,
+    spoiler_wins,
+)
+from repro.pebble.kconsistency import consistency_tables, strong_k_consistent
+
+__all__ = [
+    "PebbleGameResult",
+    "solve_pebble_game",
+    "duplicator_wins",
+    "spoiler_wins",
+    "kconsistency_closure",
+    "consistency_tables",
+    "strong_k_consistent",
+]

@@ -1,0 +1,27 @@
+"""Satisfiability substrate for Section 3 of the paper.
+
+Linear-time Horn-SAT and 2-SAT, GF(2) linear algebra for affine relations,
+and a DPLL baseline for everything outside Schaefer's tractable classes.
+"""
+
+from repro.sat.affine import LinearSystemGF2, nullspace_basis, solve_gf2
+from repro.sat.cnf import CNF, Clause, clause_is_dual_horn, clause_is_horn
+from repro.sat.dpll import solve_dpll
+from repro.sat.horn import horn_minimal_model, solve_dual_horn, solve_horn
+from repro.sat.two_sat import solve_2sat, solve_2sat_phases
+
+__all__ = [
+    "CNF",
+    "Clause",
+    "clause_is_horn",
+    "clause_is_dual_horn",
+    "solve_horn",
+    "solve_dual_horn",
+    "horn_minimal_model",
+    "solve_2sat",
+    "solve_2sat_phases",
+    "LinearSystemGF2",
+    "nullspace_basis",
+    "solve_gf2",
+    "solve_dpll",
+]

@@ -1,0 +1,110 @@
+"""CNF formulas in DIMACS-style integer encoding.
+
+Variables are positive integers ``1..n``; a literal is ``v`` (positive) or
+``-v`` (negated); a clause is a tuple of literals.  This is the substrate
+for the satisfiability algorithms that Section 3 of the paper plugs into:
+Horn-SAT and 2-SAT are linear [BB79, DG84, LP97], affine satisfiability is
+cubic via Gaussian elimination [Sch78], and DPLL is the general baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+__all__ = ["Clause", "CNF", "clause_is_horn", "clause_is_dual_horn"]
+
+Literal = int
+Clause = tuple[Literal, ...]
+
+
+def clause_is_horn(clause: Clause) -> bool:
+    """At most one positive literal (a Horn clause)."""
+    return sum(1 for lit in clause if lit > 0) <= 1
+
+
+def clause_is_dual_horn(clause: Clause) -> bool:
+    """At most one negative literal (a dual-Horn clause)."""
+    return sum(1 for lit in clause if lit < 0) <= 1
+
+
+@dataclass
+class CNF:
+    """A CNF formula: a number of variables and a list of clauses.
+
+    The empty clause ``()`` is allowed and makes the formula unsatisfiable.
+    Clauses keep their literal multiset as given (duplicates are harmless).
+    """
+
+    num_vars: int = 0
+    clauses: list[Clause] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for clause in self.clauses:
+            self._validate(clause)
+
+    def _validate(self, clause: Iterable[Literal]) -> None:
+        for lit in clause:
+            if lit == 0:
+                raise ValueError("literal 0 is not allowed")
+            if abs(lit) > self.num_vars:
+                raise ValueError(
+                    f"literal {lit} exceeds num_vars={self.num_vars}"
+                )
+
+    def add_clause(self, clause: Iterable[Literal]) -> None:
+        clause = tuple(clause)
+        self._validate(clause)
+        self.clauses.append(clause)
+
+    def __iter__(self) -> Iterator[Clause]:
+        return iter(self.clauses)
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    @property
+    def size(self) -> int:
+        """Total number of literal occurrences (the length ‖φ‖)."""
+        return sum(len(clause) for clause in self.clauses)
+
+    # -- syntactic classes (Schaefer's four nontrivial cases) ----------------
+
+    @property
+    def is_horn(self) -> bool:
+        return all(clause_is_horn(c) for c in self.clauses)
+
+    @property
+    def is_dual_horn(self) -> bool:
+        return all(clause_is_dual_horn(c) for c in self.clauses)
+
+    @property
+    def is_2cnf(self) -> bool:
+        return all(len(c) <= 2 for c in self.clauses)
+
+    # -- semantics -------------------------------------------------------------
+
+    def evaluate(self, assignment: Mapping[int, bool]) -> bool:
+        """Truth value under a total assignment ``{var: bool}``."""
+        for clause in self.clauses:
+            if not any(
+                assignment[abs(lit)] == (lit > 0) for lit in clause
+            ):
+                return False
+        return True
+
+    def all_models(self) -> Iterator[dict[int, bool]]:
+        """Brute-force enumeration of all models (test oracle only)."""
+        n = self.num_vars
+        for bits in range(1 << n):
+            assignment = {
+                v: bool((bits >> (v - 1)) & 1) for v in range(1, n + 1)
+            }
+            if self.evaluate(assignment):
+                yield assignment
+
+    def is_satisfiable_bruteforce(self) -> bool:
+        """Exponential satisfiability check (test oracle only)."""
+        for _model in self.all_models():
+            return True
+        return False

@@ -1,0 +1,95 @@
+"""A DPLL SAT solver — the general-purpose baseline.
+
+Schaefer's dichotomy (Section 3 of the paper) says Boolean CSPs outside the
+six tractable classes are NP-complete; DPLL is the honest exponential
+algorithm the specialized linear/quadratic/cubic solvers are benchmarked
+against.  The implementation is classic: unit propagation, pure-literal
+elimination, and branching on the most frequent unassigned variable.
+"""
+
+from __future__ import annotations
+
+from repro.sat.cnf import CNF
+
+__all__ = ["solve_dpll"]
+
+
+def solve_dpll(formula: CNF) -> dict[int, bool] | None:
+    """A satisfying assignment, or ``None`` when the formula is unsatisfiable."""
+    assignment: dict[int, bool] = {}
+
+    def simplify(clauses: list[tuple[int, ...]]) -> list[tuple[int, ...]] | None:
+        """Apply the current assignment; ``None`` signals a falsified clause."""
+        result = []
+        for clause in clauses:
+            satisfied = False
+            literals = []
+            for lit in clause:
+                var = abs(lit)
+                if var in assignment:
+                    if assignment[var] == (lit > 0):
+                        satisfied = True
+                        break
+                else:
+                    literals.append(lit)
+            if satisfied:
+                continue
+            if not literals:
+                return None
+            result.append(tuple(literals))
+        return result
+
+    def search(clauses: list[tuple[int, ...]]) -> bool:
+        clauses = simplify(clauses)
+        if clauses is None:
+            return False
+        # Unit propagation.
+        while True:
+            units = [c[0] for c in clauses if len(c) == 1]
+            if not units:
+                break
+            for lit in units:
+                var, value = abs(lit), lit > 0
+                if var in assignment and assignment[var] != value:
+                    return False
+                assignment[var] = value
+            clauses = simplify(clauses)
+            if clauses is None:
+                return False
+        # Pure-literal elimination.
+        polarity: dict[int, int] = {}
+        for clause in clauses:
+            for lit in clause:
+                polarity[abs(lit)] = polarity.get(abs(lit), 0) | (
+                    1 if lit > 0 else 2
+                )
+        pures = [v for v, p in polarity.items() if p != 3]
+        if pures:
+            for v in pures:
+                assignment[v] = polarity[v] == 1
+            clauses = simplify(clauses)
+            if clauses is None:
+                return False
+        if not clauses:
+            return True
+        # Branch on the most frequent variable.
+        counts: dict[int, int] = {}
+        for clause in clauses:
+            for lit in clause:
+                counts[abs(lit)] = counts.get(abs(lit), 0) + 1
+        variable = max(sorted(counts), key=lambda v: counts[v])
+        checkpoint = dict(assignment)
+        for value in (True, False):
+            assignment[variable] = value
+            if search(clauses):
+                return True
+            assignment.clear()
+            assignment.update(checkpoint)
+        return False
+
+    if search(list(formula.clauses)):
+        return {
+            v: assignment.get(v, False)
+            for v in range(1, formula.num_vars + 1)
+        }
+    return None

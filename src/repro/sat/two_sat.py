@@ -1,0 +1,182 @@
+"""Linear-time 2-SAT.
+
+Two independent algorithms are provided, each linear in the formula length:
+
+* :func:`solve_2sat` — the implication-graph / strongly-connected-components
+  algorithm (Aspvall–Plass–Tarjan): a 2-CNF is satisfiable iff no variable
+  shares an SCC with its negation; a model is read off the reverse
+  topological order.
+* :func:`solve_2sat_phases` — the phase-propagation algorithm of [LP97] that
+  Theorem 3.4 emulates for bijunctive structures: pick an unassigned
+  variable, guess a value, propagate through binary clauses; on conflict
+  retry the opposite value; if both fail the formula is unsatisfiable.
+
+Having both lets the test suite cross-check them, and lets the benchmark
+suite compare the emulated structural algorithm of Theorem 3.4 against its
+formula-level ancestor.
+
+Clauses of length 1 are treated as units; the empty clause is UNSAT.
+"""
+
+from __future__ import annotations
+
+from repro.sat.cnf import CNF
+
+__all__ = ["solve_2sat", "solve_2sat_phases"]
+
+
+def _implication_graph(formula: CNF) -> dict[int, list[int]]:
+    """Edges of the implication graph over literals (ints, ±v).
+
+    A clause (a ∨ b) yields ¬a → b and ¬b → a; a unit clause (a) yields
+    ¬a → a, which forces a.
+    """
+    graph: dict[int, list[int]] = {}
+    for v in range(1, formula.num_vars + 1):
+        graph[v] = []
+        graph[-v] = []
+    for clause in formula.clauses:
+        if len(clause) == 1:
+            (a,) = clause
+            graph[-a].append(a)
+        elif len(clause) == 2:
+            a, b = clause
+            graph[-a].append(b)
+            graph[-b].append(a)
+        else:
+            raise ValueError(f"clause {clause!r} is not binary")
+    return graph
+
+
+def _tarjan_scc(graph: dict[int, list[int]]) -> dict[int, int]:
+    """Iterative Tarjan SCC; returns component ids in reverse topological
+    order of the condensation (higher id = earlier in topological order)."""
+    index_of: dict[int, int] = {}
+    lowlink: dict[int, int] = {}
+    on_stack: set[int] = set()
+    stack: list[int] = []
+    component: dict[int, int] = {}
+    counter = 0
+    comp_counter = 0
+
+    for root in graph:
+        if root in index_of:
+            continue
+        work: list[tuple[int, int]] = [(root, 0)]
+        while work:
+            node, child_index = work[-1]
+            if child_index == 0:
+                index_of[node] = lowlink[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            neighbours = graph[node]
+            while child_index < len(neighbours):
+                successor = neighbours[child_index]
+                child_index += 1
+                if successor not in index_of:
+                    work[-1] = (node, child_index)
+                    work.append((successor, 0))
+                    advanced = True
+                    break
+                if successor in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[successor])
+            if advanced:
+                continue
+            work.pop()
+            if lowlink[node] == index_of[node]:
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component[member] = comp_counter
+                    if member == node:
+                        break
+                comp_counter += 1
+            if work:
+                parent, _ = work[-1]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return component
+
+
+def solve_2sat(formula: CNF) -> dict[int, bool] | None:
+    """Satisfying assignment for a 2-CNF via implication-graph SCCs."""
+    if any(len(c) == 0 for c in formula.clauses):
+        return None
+    if not formula.is_2cnf:
+        raise ValueError("formula is not 2-CNF")
+    graph = _implication_graph(formula)
+    component = _tarjan_scc(graph)
+    assignment: dict[int, bool] = {}
+    for v in range(1, formula.num_vars + 1):
+        if component[v] == component[-v]:
+            return None
+        # Tarjan emits components in reverse topological order, so a literal
+        # is implied-by (downstream of) its negation iff its component id is
+        # smaller; we set v true iff comp(v) < comp(-v).
+        assignment[v] = component[v] < component[-v]
+    return assignment
+
+
+def solve_2sat_phases(formula: CNF) -> dict[int, bool] | None:
+    """Satisfying assignment for a 2-CNF via [LP97] phase propagation.
+
+    Each phase guesses a value for one unassigned variable and propagates
+    through the binary clauses; if both guesses conflict, the formula is
+    unsatisfiable.  Every variable is assigned at most twice, so the
+    algorithm is linear.
+    """
+    if any(len(c) == 0 for c in formula.clauses):
+        return None
+    if not formula.is_2cnf:
+        raise ValueError("formula is not 2-CNF")
+
+    # occurrences[lit] = the other literal of every binary clause with lit.
+    occurrences: dict[int, list[int]] = {}
+    units: list[int] = []
+    for clause in formula.clauses:
+        if len(clause) == 1:
+            units.append(clause[0])
+        else:
+            a, b = clause
+            occurrences.setdefault(a, []).append(b)
+            occurrences.setdefault(b, []).append(a)
+
+    assignment: dict[int, bool] = {}
+
+    def propagate(literal: int, trail: list[int]) -> bool:
+        """Assign ``literal`` true and cascade; record assignments on trail."""
+        pending = [literal]
+        while pending:
+            lit = pending.pop()
+            var, value = abs(lit), lit > 0
+            if var in assignment:
+                if assignment[var] != value:
+                    return False
+                continue
+            assignment[var] = value
+            trail.append(var)
+            # Clauses containing ¬lit now need their other literal true.
+            pending.extend(occurrences.get(-lit, ()))
+        return True
+
+    # Unit clauses are a mandatory first phase: no alternative guess exists.
+    trail: list[int] = []
+    for unit in units:
+        if not propagate(unit, trail):
+            return None
+
+    for v in range(1, formula.num_vars + 1):
+        if v in assignment:
+            continue
+        trail = []
+        if propagate(v, trail):
+            continue
+        for var in trail:
+            del assignment[var]
+        trail = []
+        if not propagate(-v, trail):
+            return None
+    return {
+        v: assignment.get(v, False) for v in range(1, formula.num_vars + 1)
+    }

@@ -1,0 +1,99 @@
+"""Finite relational structures and the homomorphism problem (Section 2).
+
+This subpackage is the substrate everything else builds on: vocabularies,
+structures, homomorphism search, algebraic operations (products, cores),
+graph encodings, Gaifman/incidence graphs, and the dual-graph binary
+encoding of Lemma 5.5.
+"""
+
+from repro.structures.binary_encoding import (
+    binary_encoding,
+    binary_vocabulary,
+    coincidence_symbol,
+)
+from repro.structures.gaifman import (
+    gaifman_graph,
+    incidence_graph,
+    primal_edges,
+)
+from repro.structures.graphs import (
+    EDGE,
+    GRAPH_VOCABULARY,
+    clique,
+    cycle,
+    digraph_structure,
+    directed_cycle,
+    graph_structure,
+    is_two_colorable,
+    path,
+    random_digraph,
+    random_graph,
+    to_networkx,
+)
+from repro.structures.io import (
+    structure_from_dict,
+    structure_from_json,
+    structure_to_dict,
+    structure_to_json,
+)
+from repro.structures.homomorphism import (
+    SearchStats,
+    all_homomorphisms,
+    count_homomorphisms,
+    find_homomorphism,
+    homomorphism_exists,
+    image,
+    is_homomorphism,
+)
+from repro.structures.product import (
+    core,
+    direct_product,
+    disjoint_union,
+    is_core,
+    power,
+    retract_onto,
+)
+from repro.structures.structure import Structure, StructureBuilder
+from repro.structures.vocabulary import RelationSymbol, Vocabulary
+
+__all__ = [
+    "RelationSymbol",
+    "Vocabulary",
+    "Structure",
+    "StructureBuilder",
+    "SearchStats",
+    "is_homomorphism",
+    "find_homomorphism",
+    "homomorphism_exists",
+    "all_homomorphisms",
+    "count_homomorphisms",
+    "image",
+    "disjoint_union",
+    "direct_product",
+    "power",
+    "core",
+    "is_core",
+    "retract_onto",
+    "binary_encoding",
+    "binary_vocabulary",
+    "coincidence_symbol",
+    "gaifman_graph",
+    "incidence_graph",
+    "primal_edges",
+    "EDGE",
+    "GRAPH_VOCABULARY",
+    "graph_structure",
+    "digraph_structure",
+    "to_networkx",
+    "clique",
+    "path",
+    "cycle",
+    "directed_cycle",
+    "random_graph",
+    "random_digraph",
+    "is_two_colorable",
+    "structure_to_dict",
+    "structure_from_dict",
+    "structure_to_json",
+    "structure_from_json",
+]

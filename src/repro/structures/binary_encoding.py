@@ -1,0 +1,122 @@
+"""The dual-graph binary encoding ``binary(A)`` of Lemma 5.5.
+
+Section 5 observes that the treewidth of a structure is at least the number
+of distinct elements in its widest tuple minus one, so to benefit from
+bounded-treewidth algorithms it pays to lower arities first.  The paper uses
+the *dual-graph representation* of Dechter–Pearl [DP89]:
+
+* the domain of ``binary(A)`` is the set of tuple occurrences of ``A``;
+* for every pair of relation symbols ``P, Q`` and argument positions
+  ``i, j`` there is a binary relation ``E_{P,Q,i,j}`` holding ``(s, t)``
+  whenever the ``i``-th component of the ``P``-tuple ``s`` equals the
+  ``j``-th component of the ``Q``-tuple ``t``.
+
+Lemma 5.5: ``A → B``  iff  ``binary(A) → binary(B)``.
+
+The paper also remarks that on the *left-hand* side it suffices to store
+enough coincidence pairs for their reflexive–symmetric–transitive closure to
+recover all of them — storing fewer tuples can only lower the treewidth of
+``binary(A)``.  The ``scheme="chain"`` option implements that optimization
+(occurrences of one element are linked in a chain); targets (right-hand
+sides) must always use the full ``scheme="full"`` encoding.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Literal
+
+from repro.exceptions import VocabularyError
+from repro.structures.structure import Structure
+from repro.structures.vocabulary import RelationSymbol, Vocabulary
+
+__all__ = ["binary_vocabulary", "binary_encoding", "coincidence_symbol"]
+
+Element = Hashable
+TupleNode = tuple[str, tuple[Element, ...]]
+
+
+def coincidence_symbol(p: str, i: int, q: str, j: int) -> RelationSymbol:
+    """The binary symbol ``E_{P,Q,i,j}`` (positions are 0-based here)."""
+    return RelationSymbol(f"E[{p}.{i}|{q}.{j}]", 2)
+
+
+def binary_vocabulary(vocabulary: Vocabulary) -> Vocabulary:
+    """The vocabulary of ``binary(·)`` for structures over ``vocabulary``.
+
+    One binary symbol per ordered pair of (symbol, position) pairs.  It
+    depends only on the *source* vocabulary, so ``binary(A)`` and
+    ``binary(B)`` are automatically over the same signature.
+    """
+    symbols = []
+    for p in vocabulary:
+        for q in vocabulary:
+            for i in range(p.arity):
+                for j in range(q.arity):
+                    symbols.append(coincidence_symbol(p.name, i, q.name, j))
+    return Vocabulary(symbols)
+
+
+def binary_encoding(
+    structure: Structure,
+    scheme: Literal["full", "chain"] = "full",
+) -> Structure:
+    """Compute ``binary(structure)`` (Lemma 5.5).
+
+    ``scheme="full"`` stores every coincidence pair — required for
+    right-hand sides of the homomorphism problem.  ``scheme="chain"``
+    stores, per element, only consecutive occurrences plus the reflexive
+    pairs; its reflexive–symmetric–transitive closure equals the full
+    encoding, and it can have much smaller treewidth (the paper's
+    optimization remark after Lemma 5.5).
+
+    Note the encoding forgets isolated elements (elements in no tuple); the
+    lemma concerns structures whose elements all occur in tuples, which is
+    the case for canonical databases of queries.
+    """
+    if scheme not in ("full", "chain"):
+        raise VocabularyError(f"unknown binary-encoding scheme {scheme!r}")
+    for name, fact in structure.facts():
+        if not fact:
+            raise VocabularyError(
+                "binary encoding is undefined for nullary facts "
+                f"(relation {name!r}); lift them to unary first"
+            )
+    target_vocabulary = binary_vocabulary(structure.vocabulary)
+    nodes: list[TupleNode] = [
+        (name, fact) for name, fact in structure.facts()
+    ]
+    relations: dict[str, set[tuple[TupleNode, TupleNode]]] = {}
+
+    def add(p: str, i: int, q: str, j: int, s: TupleNode, t: TupleNode) -> None:
+        name = coincidence_symbol(p, i, q, j).name
+        relations.setdefault(name, set()).add((s, t))
+
+    if scheme == "full":
+        for p_name, p_fact in nodes:
+            for q_name, q_fact in nodes:
+                for i, left in enumerate(p_fact):
+                    for j, right in enumerate(q_fact):
+                        if left == right:
+                            add(
+                                p_name, i, q_name, j,
+                                (p_name, p_fact), (q_name, q_fact),
+                            )
+    else:
+        # Reflexive pairs: E_{P,P,i,i}(t, t) for every occurrence — these are
+        # the "(a) the relation E_{P,P,i,i} contains all tuples in P" pairs.
+        for p_name, p_fact in nodes:
+            node = (p_name, p_fact)
+            for i in range(len(p_fact)):
+                add(p_name, i, p_name, i, node, node)
+        # Chain pairs: per element, link consecutive occurrences both ways so
+        # the RST closure recovers every coincidence.
+        occurrences: dict[Element, list[tuple[str, TupleNode, int]]] = {}
+        for p_name, p_fact in nodes:
+            node = (p_name, p_fact)
+            for i, element in enumerate(p_fact):
+                occurrences.setdefault(element, []).append((p_name, node, i))
+        for chain in occurrences.values():
+            for (p, s, i), (q, t, j) in zip(chain, chain[1:]):
+                add(p, i, q, j, s, t)
+                add(q, j, p, i, t, s)
+    return Structure(target_vocabulary, nodes, relations)

@@ -1,0 +1,163 @@
+"""Tree decompositions of relational structures (Section 5).
+
+A tree decomposition of a structure ``A`` is a tree whose nodes are labeled
+by bags of elements such that (1) every fact's elements lie together in
+some bag, (2) the bags containing any given element form a subtree, and —
+implicitly — every element occurs in some bag.  Its *width* is the maximum
+bag size minus one.  Lemma 5.1: tree decompositions of ``A`` and of its
+Gaifman graph coincide, so all graph-theoretic machinery applies verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence
+
+import networkx as nx
+
+from repro.exceptions import DecompositionError
+from repro.structures.structure import Structure
+
+__all__ = ["TreeDecomposition"]
+
+Element = Hashable
+
+
+class TreeDecomposition:
+    """An immutable tree decomposition: bags plus tree edges.
+
+    ``bags`` is a sequence of element sets; ``edges`` connects bag indices.
+    A single-bag decomposition needs no edges.  Validity with respect to a
+    structure is checked by :meth:`validate`.
+    """
+
+    def __init__(
+        self,
+        bags: Sequence[Iterable[Element]],
+        edges: Iterable[tuple[int, int]] = (),
+    ) -> None:
+        self.bags: tuple[frozenset[Element], ...] = tuple(
+            frozenset(bag) for bag in bags
+        )
+        self.edges: tuple[tuple[int, int], ...] = tuple(
+            (min(i, j), max(i, j)) for i, j in edges
+        )
+        if not self.bags:
+            raise DecompositionError("a decomposition needs at least one bag")
+        count = len(self.bags)
+        for i, j in self.edges:
+            if not (0 <= i < count and 0 <= j < count):
+                raise DecompositionError(f"edge ({i}, {j}) out of range")
+            if i == j:
+                raise DecompositionError("self-loop in the decomposition tree")
+        tree = self.tree()
+        if not nx.is_tree(tree):
+            raise DecompositionError("decomposition graph is not a tree")
+
+    # -- basic views ------------------------------------------------------------
+
+    def tree(self) -> nx.Graph:
+        """The decomposition tree as a networkx graph over bag indices."""
+        graph = nx.Graph()
+        graph.add_nodes_from(range(len(self.bags)))
+        graph.add_edges_from(self.edges)
+        return graph
+
+    @property
+    def width(self) -> int:
+        """Maximum bag size minus one."""
+        return max(len(bag) for bag in self.bags) - 1
+
+    def __len__(self) -> int:
+        return len(self.bags)
+
+    def __repr__(self) -> str:
+        return (
+            f"TreeDecomposition(bags={len(self.bags)}, width={self.width})"
+        )
+
+    # -- validity -----------------------------------------------------------------
+
+    def covers_fact(self, fact: tuple[Element, ...]) -> bool:
+        needed = set(fact)
+        return any(needed <= bag for bag in self.bags)
+
+    def validate(self, structure: Structure) -> None:
+        """Raise :class:`DecompositionError` unless this is a valid tree
+        decomposition of ``structure``."""
+        covered: set[Element] = set()
+        for bag in self.bags:
+            covered.update(bag)
+        missing = structure.universe - covered
+        if missing:
+            raise DecompositionError(
+                f"elements missing from every bag: {sorted(map(repr, missing))}"
+            )
+        for name, fact in structure.facts():
+            if not self.covers_fact(fact):
+                raise DecompositionError(
+                    f"fact {name}{fact!r} is not inside any bag"
+                )
+        # Connectivity: the bags containing each element form a subtree.
+        tree = self.tree()
+        for element in covered:
+            nodes = [
+                index
+                for index, bag in enumerate(self.bags)
+                if element in bag
+            ]
+            induced = tree.subgraph(nodes)
+            if not nx.is_connected(induced):
+                raise DecompositionError(
+                    f"bags containing {element!r} are not connected"
+                )
+
+    def is_valid_for(self, structure: Structure) -> bool:
+        """Boolean form of :meth:`validate`."""
+        try:
+            self.validate(structure)
+        except DecompositionError:
+            return False
+        return True
+
+    # -- traversal --------------------------------------------------------------
+
+    def rooted(self, root: int = 0) -> list[tuple[int, int | None]]:
+        """Nodes in BFS order as ``(node, parent)`` pairs (root first)."""
+        tree = self.tree()
+        order: list[tuple[int, int | None]] = [(root, None)]
+        seen = {root}
+        frontier = [root]
+        while frontier:
+            new_frontier = []
+            for node in frontier:
+                for neighbour in sorted(tree.neighbors(node)):
+                    if neighbour not in seen:
+                        seen.add(neighbour)
+                        order.append((neighbour, node))
+                        new_frontier.append(neighbour)
+            frontier = new_frontier
+        if len(seen) != len(self.bags):
+            raise DecompositionError("decomposition tree is disconnected")
+        return order
+
+    def assign_facts(
+        self, structure: Structure
+    ) -> dict[int, list[tuple[str, tuple[Element, ...]]]]:
+        """Assign every fact to one node whose bag covers it.
+
+        Used by the dynamic-programming solver; raises on uncovered facts.
+        """
+        assignment: dict[int, list[tuple[str, tuple[Element, ...]]]] = {
+            index: [] for index in range(len(self.bags))
+        }
+        for name, fact in structure.facts():
+            needed = set(fact)
+            for index, bag in enumerate(self.bags):
+                if needed <= bag:
+                    assignment[index].append((name, fact))
+                    break
+            else:
+                raise DecompositionError(
+                    f"fact {name}{fact!r} is not inside any bag"
+                )
+        return assignment

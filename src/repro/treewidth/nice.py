@@ -1,0 +1,283 @@
+"""Nice tree decompositions: the normalized form behind parse trees.
+
+The proof of Lemma 5.2 builds parse trees out of k-boundaried structures
+combined by small-arity operators; the modern formulation is a *nice*
+tree decomposition, where every node is one of
+
+* **leaf** — an empty bag;
+* **introduce(v)** — the bag of its single child plus one new element;
+* **forget(v)** — the bag of its single child minus one element;
+* **join** — two children with identical bags, equal to the node's bag.
+
+Every tree decomposition converts into a nice one of the same width with
+O(width · #bags) nodes, and dynamic programs become one-rule-per-node-kind
+simple.  This module provides the conversion, a validator, and an
+alternative homomorphism DP over nice decompositions that the tests
+cross-check against :mod:`repro.treewidth.dp`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Literal
+
+from repro.exceptions import DecompositionError
+from repro.structures.structure import Structure, _sort_key
+from repro.treewidth.decomposition import TreeDecomposition
+from repro.treewidth.heuristics import decompose
+
+__all__ = ["NiceNode", "NiceDecomposition", "make_nice", "solve_by_nice_dp"]
+
+Element = Hashable
+Kind = Literal["leaf", "introduce", "forget", "join"]
+
+
+@dataclass(frozen=True)
+class NiceNode:
+    """One node of a nice decomposition.
+
+    ``children`` are node indices; ``element`` is the element introduced
+    or forgotten (``None`` for leaf/join nodes).
+    """
+
+    kind: Kind
+    bag: frozenset[Element]
+    children: tuple[int, ...]
+    element: Element | None = None
+
+
+class NiceDecomposition:
+    """A rooted nice tree decomposition (node 0 is the root)."""
+
+    def __init__(self, nodes: list[NiceNode]) -> None:
+        if not nodes:
+            raise DecompositionError("a nice decomposition needs nodes")
+        self.nodes = list(nodes)
+        self._check_shape()
+
+    def _check_shape(self) -> None:
+        for index, node in enumerate(self.nodes):
+            for child in node.children:
+                if not 0 <= child < len(self.nodes):
+                    raise DecompositionError(
+                        f"node {index} has out-of-range child {child}"
+                    )
+            if node.kind == "leaf":
+                if node.children or node.bag:
+                    raise DecompositionError("leaf must be empty and childless")
+            elif node.kind == "introduce":
+                (child,) = node.children
+                expected = self.nodes[child].bag | {node.element}
+                if node.element in self.nodes[child].bag or node.bag != expected:
+                    raise DecompositionError(
+                        f"bad introduce node {index}"
+                    )
+            elif node.kind == "forget":
+                (child,) = node.children
+                expected = self.nodes[child].bag - {node.element}
+                if (
+                    node.element not in self.nodes[child].bag
+                    or node.bag != expected
+                ):
+                    raise DecompositionError(f"bad forget node {index}")
+            elif node.kind == "join":
+                left, right = node.children
+                if not (
+                    node.bag
+                    == self.nodes[left].bag
+                    == self.nodes[right].bag
+                ):
+                    raise DecompositionError(f"bad join node {index}")
+            else:
+                raise DecompositionError(f"unknown node kind {node.kind!r}")
+
+    @property
+    def width(self) -> int:
+        return max(len(node.bag) for node in self.nodes) - 1
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def to_tree_decomposition(self) -> TreeDecomposition:
+        """Forget the node kinds; useful for re-validation."""
+        edges = [
+            (index, child)
+            for index, node in enumerate(self.nodes)
+            for child in node.children
+        ]
+        return TreeDecomposition(
+            [node.bag for node in self.nodes], edges
+        )
+
+
+def make_nice(
+    decomposition: TreeDecomposition, structure: Structure | None = None
+) -> NiceDecomposition:
+    """Convert a tree decomposition into an equivalent nice one.
+
+    The result has the same width; if ``structure`` is given the converted
+    decomposition is validated against it.
+    """
+    order = decomposition.rooted(0)
+    children: dict[int, list[int]] = {node: [] for node, _ in order}
+    for node, parent in order:
+        if parent is not None:
+            children[parent].append(node)
+
+    nodes: list[NiceNode] = []
+
+    def emit(node: NiceNode) -> int:
+        nodes.append(node)
+        return len(nodes) - 1
+
+    def chain_to_bag(
+        start_index: int,
+        start_bag: frozenset[Element],
+        goal_bag: frozenset[Element],
+    ) -> int:
+        """Forget then introduce, one element at a time."""
+        index, bag = start_index, start_bag
+        for element in sorted(start_bag - goal_bag, key=_sort_key):
+            bag = bag - {element}
+            index = emit(
+                NiceNode("forget", bag, (index,), element)
+            )
+        for element in sorted(goal_bag - start_bag, key=_sort_key):
+            bag = bag | {element}
+            index = emit(
+                NiceNode("introduce", bag, (index,), element)
+            )
+        return index
+
+    def build(original: int) -> int:
+        """Emit the nice subtree for an original node; returns its index."""
+        bag = frozenset(decomposition.bags[original])
+        kids = children[original]
+        if not kids:
+            leaf = emit(NiceNode("leaf", frozenset(), ()))
+            return chain_to_bag(leaf, frozenset(), bag)
+        branches = []
+        for child in kids:
+            child_top = build(child)
+            child_bag = frozenset(decomposition.bags[child])
+            branches.append(chain_to_bag(child_top, child_bag, bag))
+        index = branches[0]
+        for other in branches[1:]:
+            index = emit(NiceNode("join", bag, (index, other)))
+        return index
+
+    root = build(0)
+    # Root must come first by convention: rotate via a final index map.
+    if root != 0:
+        permutation = [root] + [i for i in range(len(nodes)) if i != root]
+        position = {old: new for new, old in enumerate(permutation)}
+        nodes = [
+            NiceNode(
+                node.kind,
+                node.bag,
+                tuple(position[c] for c in node.children),
+                node.element,
+            )
+            for node in (nodes[old] for old in permutation)
+        ]
+    nice = NiceDecomposition(nodes)
+    if structure is not None:
+        nice.to_tree_decomposition().validate(structure)
+    return nice
+
+
+def solve_by_nice_dp(
+    source: Structure,
+    target: Structure,
+    decomposition: TreeDecomposition | None = None,
+) -> bool:
+    """Homomorphism existence via the textbook nice-decomposition DP.
+
+    One transfer rule per node kind:
+
+    * leaf: the empty assignment;
+    * introduce(v): extend each assignment by every image of ``v`` that
+      satisfies the source facts now fully inside the bag;
+    * forget(v): project ``v`` away;
+    * join: intersect the children's assignment sets.
+
+    An independent re-implementation of Theorem 5.4 used by the tests to
+    cross-check :func:`repro.treewidth.dp.solve_by_treewidth`.
+    """
+    if decomposition is None:
+        decomposition = decompose(source)
+    else:
+        decomposition.validate(source)
+    facts = list(source.facts())
+    # Nullary facts have no element to hang the introduce-time check on.
+    for name, fact in facts:
+        if not fact and fact not in target.relation(name):
+            return False
+    if not source.universe:
+        return True
+    nice = make_nice(decomposition, source)
+    values = target.sorted_universe
+
+    def facts_inside(bag: frozenset[Element], element: Element):
+        """Facts fully inside ``bag`` that mention ``element``."""
+        return [
+            (name, fact)
+            for name, fact in facts
+            if element in fact and set(fact) <= bag
+        ]
+
+    tables: dict[int, set[tuple[tuple[Element, Element], ...]]] = {}
+
+    ordered = sorted(
+        range(len(nice.nodes)),
+        key=lambda i: -_depth(nice, i),
+    )
+    for index in ordered:
+        node = nice.nodes[index]
+        if node.kind == "leaf":
+            tables[index] = {()}
+        elif node.kind == "introduce":
+            (child,) = node.children
+            relevant = facts_inside(node.bag, node.element)
+            new_table = set()
+            for assignment in tables[child]:
+                mapping = dict(assignment)
+                for value in values:
+                    mapping[node.element] = value
+                    if all(
+                        tuple(mapping[e] for e in fact)
+                        in target.relation(name)
+                        for name, fact in relevant
+                    ):
+                        new_table.add(
+                            tuple(sorted(mapping.items(), key=repr))
+                        )
+                del mapping[node.element]
+            tables[index] = new_table
+        elif node.kind == "forget":
+            (child,) = node.children
+            tables[index] = {
+                tuple(
+                    (e, v) for e, v in assignment if e != node.element
+                )
+                for assignment in tables[child]
+            }
+        else:  # join
+            left, right = node.children
+            tables[index] = tables[left] & tables[right]
+        if not tables[index]:
+            return False
+    return bool(tables[0])
+
+
+def _depth(nice: NiceDecomposition, index: int) -> int:
+    """Distance from the root (node 0); memo-free, fine for small trees."""
+    parents = {}
+    for i, node in enumerate(nice.nodes):
+        for child in node.children:
+            parents[child] = i
+    depth = 0
+    while index in parents:
+        index = parents[index]
+        depth += 1
+    return depth

@@ -1,0 +1,171 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Allow running the tests from a checkout without installation.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from hypothesis import strategies as st
+
+from repro.boolean.relations import (
+    BooleanRelation,
+    tuple_and,
+    tuple_majority,
+    tuple_or,
+    tuple_xor3,
+)
+from repro.structures.structure import Structure
+from repro.structures.vocabulary import RelationSymbol, Vocabulary
+
+
+# ---------------------------------------------------------------------------
+# Vocabularies and structures
+# ---------------------------------------------------------------------------
+
+def vocabularies(
+    max_symbols: int = 2, max_arity: int = 3
+) -> st.SearchStrategy[Vocabulary]:
+    """Small random vocabularies R0, R1, … with arities in 1..max_arity."""
+
+    def build(arities: list[int]) -> Vocabulary:
+        return Vocabulary(
+            RelationSymbol(f"R{i}", arity)
+            for i, arity in enumerate(arities)
+        )
+
+    return st.lists(
+        st.integers(min_value=1, max_value=max_arity),
+        min_size=1,
+        max_size=max_symbols,
+    ).map(build)
+
+
+@st.composite
+def structures(
+    draw,
+    vocabulary: Vocabulary | None = None,
+    max_elements: int = 5,
+    max_facts: int = 6,
+) -> Structure:
+    """Random small structures, optionally over a fixed vocabulary."""
+    if vocabulary is None:
+        vocabulary = draw(vocabularies())
+    n = draw(st.integers(min_value=1, max_value=max_elements))
+    relations = {}
+    for symbol in vocabulary:
+        count = draw(st.integers(min_value=0, max_value=max_facts))
+        facts = set()
+        for _ in range(count):
+            facts.add(
+                tuple(
+                    draw(st.integers(min_value=0, max_value=n - 1))
+                    for _ in range(symbol.arity)
+                )
+            )
+        relations[symbol.name] = facts
+    return Structure(vocabulary, range(n), relations)
+
+
+@st.composite
+def structure_pairs(
+    draw, max_elements: int = 4, max_facts: int = 5
+) -> tuple[Structure, Structure]:
+    """A pair of structures over one shared vocabulary."""
+    vocabulary = draw(vocabularies())
+    a = draw(structures(vocabulary, max_elements, max_facts))
+    b = draw(structures(vocabulary, max_elements, max_facts))
+    return a, b
+
+
+# ---------------------------------------------------------------------------
+# Boolean relations, optionally closed into a Schaefer class
+# ---------------------------------------------------------------------------
+
+def _closed(tuples: set, operation, op_arity: int) -> frozenset:
+    closed = set(tuples)
+    while True:
+        if op_arity == 2:
+            new = {operation(a, b) for a in closed for b in closed}
+        else:
+            new = {
+                operation(a, b, c)
+                for a in closed
+                for b in closed
+                for c in closed
+            }
+        if new <= closed:
+            return frozenset(closed)
+        closed |= new
+
+
+@st.composite
+def boolean_relations(
+    draw,
+    max_arity: int = 4,
+    closure: str | None = None,
+    allow_empty: bool = True,
+) -> BooleanRelation:
+    """Random Boolean relations; ``closure`` forces a Schaefer class."""
+    arity = draw(st.integers(min_value=1, max_value=max_arity))
+    min_tuples = 0 if allow_empty else 1
+    raw = draw(
+        st.sets(
+            st.tuples(
+                *[st.integers(min_value=0, max_value=1)] * arity
+            ),
+            min_size=min_tuples,
+            max_size=min(6, 2**arity),
+        )
+    )
+    operations = {
+        "horn": (tuple_and, 2),
+        "dual_horn": (tuple_or, 2),
+        "bijunctive": (tuple_majority, 3),
+        "affine": (tuple_xor3, 3),
+    }
+    if closure is not None and raw:
+        operation, op_arity = operations[closure]
+        raw = set(_closed(raw, operation, op_arity))
+    return BooleanRelation(arity, raw)
+
+
+@st.composite
+def boolean_structures(
+    draw,
+    closure: str | None = None,
+    max_arity: int = 3,
+    vocabulary: Vocabulary | None = None,
+) -> Structure:
+    """Random Boolean structures (universe {0, 1})."""
+    if vocabulary is None:
+        vocabulary = draw(vocabularies(max_symbols=2, max_arity=max_arity))
+    relations = {}
+    for symbol in vocabulary:
+        relation = draw(
+            boolean_relations(max_arity=symbol.arity, closure=closure)
+        )
+        # Regenerate at the right arity if needed.
+        if relation.arity != symbol.arity:
+            tuples = {
+                t[: symbol.arity]
+                if len(t) >= symbol.arity
+                else t + (0,) * (symbol.arity - len(t))
+                for t in relation.tuples
+            }
+            if closure is not None and tuples:
+                operations = {
+                    "horn": (tuple_and, 2),
+                    "dual_horn": (tuple_or, 2),
+                    "bijunctive": (tuple_majority, 3),
+                    "affine": (tuple_xor3, 3),
+                }
+                operation, op_arity = operations[closure]
+                tuples = set(_closed(tuples, operation, op_arity))
+            relation = BooleanRelation(symbol.arity, tuples)
+        relations[symbol.name] = set(relation.tuples)
+    return Structure(vocabulary, {0, 1}, relations)

@@ -1,0 +1,135 @@
+"""Tests for arc consistency and the backtracking facade."""
+
+from hypothesis import given, settings
+
+from repro.csp.ac3 import establish_arc_consistency
+from repro.csp.backtracking import (
+    degree_order,
+    solve_backtracking,
+    solve_instance,
+)
+from repro.csp.instance import Constraint, CSPInstance
+from repro.structures.graphs import clique, cycle, path
+from repro.structures.homomorphism import (
+    SearchStats,
+    find_homomorphism,
+    homomorphism_exists,
+    is_homomorphism,
+)
+from repro.structures.structure import Structure
+from repro.structures.vocabulary import Vocabulary
+
+from conftest import structure_pairs
+
+
+class TestArcConsistency:
+    def test_no_pruning_on_consistent_instance(self):
+        domains = establish_arc_consistency(cycle(4), clique(2))
+        assert domains is not None
+        assert all(len(d) == 2 for d in domains.values())
+
+    def test_wipeout_detected(self):
+        vocabulary = Vocabulary.from_arities({"R": 2})
+        target = Structure(vocabulary, {0, 1}, {"R": {(0, 1)}})
+        # loop fact needs (x,x) in R: impossible
+        source = Structure(vocabulary, {0}, {"R": {(0, 0)}})
+        assert establish_arc_consistency(source, target) is None
+
+    def test_chain_pruning(self):
+        vocabulary = Vocabulary.from_arities({"R": 2})
+        # R forces strictly increasing values over {0,1,2}
+        target = Structure(
+            vocabulary, {0, 1, 2}, {"R": {(0, 1), (0, 2), (1, 2)}}
+        )
+        source = Structure(
+            vocabulary, range(3), {"R": {(0, 1), (1, 2)}}
+        )
+        domains = establish_arc_consistency(source, target)
+        assert domains == {0: {0}, 1: {1}, 2: {2}}
+
+    def test_soundness_never_prunes_solutions(self):
+        a, b = cycle(6), clique(3)
+        domains = establish_arc_consistency(a, b)
+        for hom in [find_homomorphism(a, b)]:
+            for element, value in hom.items():
+                assert value in domains[element]
+
+    @given(structure_pairs(max_elements=4, max_facts=5))
+    @settings(max_examples=50, deadline=None)
+    def test_wipeout_implies_unsat(self, pair):
+        a, b = pair
+        if establish_arc_consistency(a, b) is None:
+            assert not homomorphism_exists(a, b)
+
+    def test_custom_initial_domains(self):
+        a, b = cycle(4), clique(2)
+        domains = {e: {0} for e in a.universe}
+        assert establish_arc_consistency(a, b, domains) is None
+
+
+class TestBacktrackingFacade:
+    def test_degree_order_sorts_by_occurrences(self):
+        star = Structure(
+            Vocabulary.from_arities({"E": 2}),
+            range(4),
+            {"E": {(0, 1), (0, 2), (0, 3)}},
+        )
+        assert degree_order(star)[0] == 0
+
+    def test_solves_with_and_without_options(self):
+        for preprocess in (True, False):
+            for use_degree in (True, False):
+                hom = solve_backtracking(
+                    cycle(6),
+                    clique(2),
+                    preprocess=preprocess,
+                    use_degree_order=use_degree,
+                )
+                assert hom is not None
+                assert is_homomorphism(hom, cycle(6), clique(2))
+
+    def test_unsat_with_preprocessing_shortcut(self):
+        stats = SearchStats()
+        vocabulary = Vocabulary.from_arities({"R": 2})
+        target = Structure(vocabulary, {0, 1}, {"R": {(0, 1)}})
+        source = Structure(vocabulary, {0}, {"R": {(0, 0)}})
+        hom = solve_backtracking(source, target, stats=stats)
+        assert hom is None
+        assert stats.nodes == 0  # AC-3 refuted before search
+
+    @given(structure_pairs(max_elements=4, max_facts=5))
+    @settings(max_examples=40, deadline=None)
+    def test_same_answer_as_plain_search(self, pair):
+        a, b = pair
+        assert (solve_backtracking(a, b) is not None) == (
+            homomorphism_exists(a, b)
+        )
+
+
+class TestSolveInstance:
+    def test_ai_instance_solved(self):
+        allowed = frozenset({(0, 1), (1, 0)})
+        instance = CSPInstance(
+            ["a", "b", "c"],
+            {v: {0, 1} for v in "abc"},
+            [
+                Constraint(("a", "b"), allowed),
+                Constraint(("b", "c"), allowed),
+            ],
+        )
+        solution = solve_instance(instance)
+        assert solution is not None
+        assert instance.is_solution(solution)
+
+    def test_unsat_instance(self):
+        allowed = frozenset({(0, 1), (1, 0)})
+        instance = CSPInstance(
+            ["a", "b", "c"],
+            {v: {0, 1} for v in "abc"},
+            [
+                Constraint(("a", "b"), allowed),
+                Constraint(("b", "c"), allowed),
+                Constraint(("c", "a"), allowed),
+            ],
+        )
+        assert solve_instance(instance) is None

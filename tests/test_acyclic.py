@@ -1,0 +1,112 @@
+"""Tests for GYO reduction and Yannakakis evaluation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cq.acyclic import (
+    gyo_join_tree,
+    is_alpha_acyclic,
+    yannakakis_holds,
+)
+from repro.cq.evaluation import holds
+from repro.cq.parser import parse_query
+from repro.cq.query import Atom, ConjunctiveQuery
+from repro.exceptions import VocabularyError
+from repro.structures.graphs import random_digraph
+
+
+class TestGYO:
+    def test_chain_is_acyclic(self):
+        q = parse_query("Q :- E(X, Y), E(Y, Z), E(Z, W).")
+        assert is_alpha_acyclic(q)
+        tree = gyo_join_tree(q)
+        assert len(tree) == 3
+        assert tree[-1][1] is None  # root last
+
+    def test_triangle_is_cyclic(self):
+        q = parse_query("Q :- E(X, Y), E(Y, Z), E(Z, X).")
+        assert not is_alpha_acyclic(q)
+        assert gyo_join_tree(q) is None
+
+    def test_star_is_acyclic(self):
+        q = parse_query("Q :- E(C, X), E(C, Y), E(C, Z).")
+        assert is_alpha_acyclic(q)
+
+    def test_wide_atom_is_acyclic_despite_high_treewidth(self):
+        # alpha-acyclicity vs treewidth: one wide atom is acyclic
+        q = parse_query("Q :- T(X, Y, Z, W).")
+        assert is_alpha_acyclic(q)
+        from repro.cq.width import query_treewidth
+
+        assert query_treewidth(q) == 3
+
+    def test_disconnected_components_acyclic(self):
+        q = parse_query("Q :- E(X, Y), F(Z, W).")
+        assert is_alpha_acyclic(q)
+
+    def test_empty_body(self):
+        q = parse_query("Q :- .")
+        assert gyo_join_tree(q) == []
+
+    def test_single_atom(self):
+        q = parse_query("Q :- E(X, Y).")
+        assert gyo_join_tree(q) == [(0, None)]
+
+
+class TestYannakakis:
+    def test_chain_query_on_digraph(self):
+        q = parse_query("Q :- E(X, Y), E(Y, Z).")
+        yes = random_digraph(4, 0.9, seed=1)
+        assert yannakakis_holds(q, yes) == holds(q, yes)
+
+    def test_unsatisfiable(self):
+        q = parse_query("Q :- E(X, Y), F(Y, Z).")
+        db = random_digraph(4, 0.5, seed=2)  # F is empty
+        assert not yannakakis_holds(q, db)
+
+    def test_empty_body_true(self):
+        q = parse_query("Q :- .")
+        assert yannakakis_holds(q, random_digraph(2, 0.5, seed=3))
+
+    def test_cyclic_query_rejected(self):
+        q = parse_query("Q :- E(X, Y), E(Y, Z), E(Z, X).")
+        with pytest.raises(VocabularyError):
+            yannakakis_holds(q, random_digraph(3, 0.5, seed=4))
+
+    def test_non_boolean_rejected(self):
+        q = parse_query("Q(X) :- E(X, Y).")
+        with pytest.raises(VocabularyError):
+            yannakakis_holds(q, random_digraph(3, 0.5, seed=5))
+
+    def test_repeated_variable_atom(self):
+        q = parse_query("Q :- E(X, X).")
+        loop = random_digraph(3, 0.0, seed=6)
+        assert not yannakakis_holds(q, loop)
+        from repro.structures.graphs import digraph_structure
+
+        with_loop = digraph_structure([0], [(0, 0)])
+        assert yannakakis_holds(q, with_loop)
+
+    @given(st.integers(min_value=0, max_value=10_000),
+           st.integers(min_value=1, max_value=4))
+    @settings(max_examples=50, deadline=None)
+    def test_random_acyclic_queries_agree_with_general_evaluator(
+        self, seed, length
+    ):
+        import random
+
+        rng = random.Random(seed)
+        variables = ["X", "Y", "Z", "W", "V"]
+        atoms = []
+        # build a random acyclic (chain/star-ish) pattern
+        current = rng.choice(variables)
+        for _ in range(length):
+            nxt = rng.choice(variables)
+            atoms.append(Atom("E", (current, nxt)))
+            current = nxt if rng.random() < 0.7 else current
+        q = ConjunctiveQuery((), atoms)
+        if not is_alpha_acyclic(q):
+            return
+        db = random_digraph(4, 0.35, seed=seed)
+        assert yannakakis_holds(q, db) == holds(q, db)

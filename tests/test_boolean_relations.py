@@ -1,0 +1,160 @@
+"""Tests for Boolean relations and their polymorphism operations."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.boolean.relations import (
+    BooleanRelation,
+    boolean_relations_of,
+    tuple_and,
+    tuple_majority,
+    tuple_or,
+    tuple_xor3,
+)
+from repro.exceptions import NotBooleanError
+from repro.structures.structure import Structure
+from repro.structures.vocabulary import Vocabulary
+
+from conftest import boolean_relations
+
+
+class TestTupleOperations:
+    def test_and(self):
+        assert tuple_and((1, 0, 1), (1, 1, 0)) == (1, 0, 0)
+
+    def test_or(self):
+        assert tuple_or((1, 0, 1), (0, 0, 1)) == (1, 0, 1)
+
+    def test_majority(self):
+        assert tuple_majority((1, 0, 0), (1, 1, 0), (0, 1, 0)) == (1, 1, 0)
+
+    def test_xor3(self):
+        assert tuple_xor3((1, 0, 0), (1, 1, 0), (1, 1, 1)) == (1, 0, 1)
+
+    def test_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            tuple_and((1, 0), (1,))
+
+
+class TestBooleanRelation:
+    def test_basic_container(self):
+        r = BooleanRelation(2, [(0, 1), (1, 0)])
+        assert len(r) == 2 and (0, 1) in r and (1, 1) not in r
+        assert r.arity == 2
+
+    def test_non_boolean_entries_rejected(self):
+        with pytest.raises(NotBooleanError):
+            BooleanRelation(1, [(2,)])
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(NotBooleanError):
+            BooleanRelation(2, [(0, 1, 0)])
+
+    def test_validity_flags(self):
+        r = BooleanRelation(2, [(0, 0), (1, 1)])
+        assert r.is_zero_valid and r.is_one_valid
+
+    def test_empty_relation_flags(self):
+        r = BooleanRelation(2, [])
+        assert not r.is_zero_valid and not r.is_one_valid
+        # closure conditions hold vacuously
+        assert r.is_horn and r.is_dual_horn
+        assert r.is_bijunctive and r.is_affine
+
+    def test_horn_closure(self):
+        horn = BooleanRelation(2, [(1, 1), (1, 0), (0, 0)])
+        assert horn.is_horn
+        not_horn = BooleanRelation(2, [(1, 0), (0, 1)])
+        assert not not_horn.is_horn  # AND gives (0,0)
+
+    def test_dual_horn_closure(self):
+        dual = BooleanRelation(2, [(0, 0), (0, 1), (1, 1)])
+        assert dual.is_dual_horn
+        not_dual = BooleanRelation(2, [(1, 0), (0, 1)])
+        assert not not_dual.is_dual_horn  # OR gives (1,1)
+
+    def test_two_tuples_always_bijunctive(self):
+        r = BooleanRelation(3, [(1, 0, 1), (0, 1, 0)])
+        assert r.is_bijunctive
+
+    def test_one_in_three_not_bijunctive(self):
+        # positive one-in-three 3-SAT relation (the paper's NP example)
+        r = BooleanRelation(3, [(1, 0, 0), (0, 1, 0), (0, 0, 1)])
+        assert not r.is_bijunctive
+        assert not r.is_horn and not r.is_dual_horn and not r.is_affine
+        assert not r.is_zero_valid and not r.is_one_valid
+
+    def test_xor_relation_affine(self):
+        r = BooleanRelation(2, [(0, 1), (1, 0)])
+        assert r.is_affine
+
+    def test_ones_helper(self):
+        r = BooleanRelation(3, [])
+        assert r.ones((1, 0, 1)) == frozenset({0, 2})
+
+    def test_satisfies_implication(self):
+        r = BooleanRelation(2, [(1, 1), (0, 0)])
+        assert r.satisfies_implication(frozenset({0}), 1)
+        r2 = BooleanRelation(2, [(1, 0), (0, 0)])
+        assert not r2.satisfies_implication(frozenset({0}), 1)
+
+    def test_satisfies_implication_vacuous(self):
+        r = BooleanRelation(2, [(0, 0)])
+        # no tuple has position 0 set, so anything follows from {0}
+        assert r.satisfies_implication(frozenset({0}), 1)
+
+    def test_meet_above(self):
+        r = BooleanRelation(2, [(1, 1), (1, 0), (0, 0)])
+        assert r.meet_above(frozenset({0})) == (1, 0)
+        assert r.meet_above(frozenset()) == (0, 0)
+        assert r.meet_above(frozenset({1})) == (1, 1)
+        assert BooleanRelation(2, []).meet_above(frozenset()) is None
+
+    def test_complemented_swaps_horn_dual(self):
+        horn = BooleanRelation(2, [(1, 1), (1, 0), (0, 0)])
+        flipped = horn.complemented()
+        assert flipped.is_dual_horn
+        assert flipped.tuples == {(0, 0), (0, 1), (1, 1)}
+
+    def test_nonmembers(self):
+        r = BooleanRelation(2, [(0, 0)])
+        assert set(r.nonmembers()) == {(0, 1), (1, 0), (1, 1)}
+
+    @given(boolean_relations(closure="horn"))
+    @settings(max_examples=40, deadline=None)
+    def test_closed_generation_horn(self, r):
+        assert r.is_horn
+
+    @given(boolean_relations(closure="dual_horn"))
+    @settings(max_examples=40, deadline=None)
+    def test_closed_generation_dual_horn(self, r):
+        assert r.is_dual_horn
+
+    @given(boolean_relations(closure="bijunctive"))
+    @settings(max_examples=40, deadline=None)
+    def test_closed_generation_bijunctive(self, r):
+        assert r.is_bijunctive
+
+    @given(boolean_relations(closure="affine"))
+    @settings(max_examples=40, deadline=None)
+    def test_closed_generation_affine(self, r):
+        assert r.is_affine
+
+    @given(boolean_relations())
+    @settings(max_examples=40, deadline=None)
+    def test_complement_involution(self, r):
+        assert r.complemented().complemented() == r
+
+
+class TestBooleanRelationsOf:
+    def test_extraction(self):
+        vocabulary = Vocabulary.from_arities({"R": 2})
+        s = Structure(vocabulary, {0, 1}, {"R": {(0, 1)}})
+        rels = boolean_relations_of(s)
+        assert rels["R"].tuples == {(0, 1)}
+
+    def test_non_boolean_rejected(self):
+        vocabulary = Vocabulary.from_arities({"R": 1})
+        s = Structure(vocabulary, {0, 1, 2}, {"R": {(2,)}})
+        with pytest.raises(NotBooleanError):
+            boolean_relations_of(s)

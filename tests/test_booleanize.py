@@ -1,0 +1,157 @@
+"""Tests for Booleanization (Lemma 3.5)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.boolean.booleanize import booleanize, code_bits
+from repro.exceptions import NotBooleanError
+from repro.structures.graphs import clique, cycle, directed_cycle
+from repro.structures.homomorphism import (
+    homomorphism_exists,
+    find_homomorphism,
+    is_homomorphism,
+)
+from repro.structures.structure import Structure
+from repro.structures.vocabulary import Vocabulary
+
+from conftest import structure_pairs
+
+
+class TestCodeBits:
+    def test_big_endian(self):
+        assert code_bits(5, 3) == (1, 0, 1)
+        assert code_bits(0, 2) == (0, 0)
+        assert code_bits(3, 2) == (1, 1)
+
+    def test_too_wide_rejected(self):
+        with pytest.raises(ValueError):
+            code_bits(4, 2)
+        with pytest.raises(ValueError):
+            code_bits(-1, 2)
+
+
+class TestBooleanizeShape:
+    def test_bit_count(self):
+        bz = booleanize(cycle(3), clique(3))
+        assert bz.bits == 2  # ceil(log2 3)
+
+    def test_singleton_target_gets_one_bit(self):
+        loop = Structure(
+            Vocabulary.from_arities({"E": 2}), {0}, {"E": {(0, 0)}}
+        )
+        bz = booleanize(loop, loop)
+        assert bz.bits == 1
+        assert bz.target.is_boolean
+
+    def test_arities_scaled(self):
+        bz = booleanize(cycle(3), clique(3))
+        assert bz.target.vocabulary.arity("E") == 4
+        assert bz.source.vocabulary.arity("E") == 4
+
+    def test_source_universe_copies(self):
+        bz = booleanize(cycle(3), clique(3))
+        assert len(bz.source) == 3 * 2
+
+    def test_empty_target_rejected(self):
+        empty = Structure(Vocabulary.from_arities({"E": 2}))
+        with pytest.raises(NotBooleanError):
+            booleanize(cycle(3), empty)
+
+    def test_custom_labeling_validation(self):
+        k2 = clique(2)
+        with pytest.raises(NotBooleanError):
+            booleanize(k2, k2, {0: 0})           # incomplete
+        with pytest.raises(NotBooleanError):
+            booleanize(k2, k2, {0: 1, 1: 1})     # not injective
+        with pytest.raises(NotBooleanError):
+            booleanize(k2, k2, {0: -1, 1: 0})    # negative code
+
+
+class TestLemma35:
+    def test_two_colorability_preserved(self):
+        k2 = clique(2)
+        for n in (3, 4, 5, 6):
+            bz = booleanize(cycle(n), k2)
+            assert homomorphism_exists(cycle(n), k2) == (
+                homomorphism_exists(bz.source, bz.target)
+            )
+
+    def test_encode_decode_roundtrip(self):
+        c6, k2 = cycle(6), clique(2)
+        bz = booleanize(c6, k2)
+        h = find_homomorphism(c6, k2)
+        encoded = bz.encode_homomorphism(h)
+        assert is_homomorphism(encoded, bz.source, bz.target)
+        decoded = bz.decode_homomorphism(encoded)
+        assert decoded == h
+
+    def test_decode_arbitrary_boolean_hom(self):
+        c4, k2 = cycle(4), clique(2)
+        bz = booleanize(c4, k2)
+        hom_b = find_homomorphism(bz.source, bz.target)
+        assert hom_b is not None
+        decoded = bz.decode_homomorphism(hom_b)
+        assert is_homomorphism(decoded, c4, k2)
+
+    def test_isolated_elements_decoded_to_fallback(self):
+        vocabulary = Vocabulary.from_arities({"E": 2})
+        source = Structure(vocabulary, {0, 1, 9}, {"E": {(0, 1)}})
+        target = clique(2)
+        bz = booleanize(source, target)
+        hom_b = find_homomorphism(bz.source, bz.target)
+        decoded = bz.decode_homomorphism(hom_b)
+        assert decoded[9] in target.universe
+        assert is_homomorphism(decoded, source, target)
+
+    @given(structure_pairs(max_elements=3, max_facts=4))
+    @settings(max_examples=50, deadline=None)
+    def test_equivalence_random(self, pair):
+        a, b = pair
+        bz = booleanize(a, b)
+        assert homomorphism_exists(a, b) == homomorphism_exists(
+            bz.source, bz.target
+        )
+
+    @given(structure_pairs(max_elements=3, max_facts=3))
+    @settings(max_examples=30, deadline=None)
+    def test_decoded_homs_verify(self, pair):
+        a, b = pair
+        bz = booleanize(a, b)
+        hom_b = find_homomorphism(bz.source, bz.target)
+        if hom_b is not None:
+            decoded = bz.decode_homomorphism(hom_b)
+            assert is_homomorphism(decoded, a, b)
+
+
+class TestExample38Labelings:
+    def test_first_labeling_affine_only(self):
+        c4 = directed_cycle(4)
+        bz = booleanize(c4, c4, {0: 0b00, 1: 0b01, 2: 0b10, 3: 0b11})
+        from repro.boolean.relations import boolean_relations_of
+
+        e = boolean_relations_of(bz.target)["E"]
+        assert e.tuples == {
+            (0, 0, 0, 1),
+            (0, 1, 1, 0),
+            (1, 0, 1, 1),
+            (1, 1, 0, 0),
+        }
+        assert e.is_affine
+        assert not e.is_horn and not e.is_dual_horn
+        assert not e.is_bijunctive
+        assert not e.is_zero_valid and not e.is_one_valid
+
+    def test_second_labeling_bijunctive_and_affine(self):
+        c4 = directed_cycle(4)
+        bz = booleanize(c4, c4, {0: 0b00, 1: 0b10, 2: 0b11, 3: 0b01})
+        from repro.boolean.relations import boolean_relations_of
+
+        e = boolean_relations_of(bz.target)["E"]
+        assert e.tuples == {
+            (0, 0, 1, 0),
+            (1, 0, 1, 1),
+            (1, 1, 0, 1),
+            (0, 1, 0, 0),
+        }
+        assert e.is_bijunctive and e.is_affine
+        assert not e.is_horn and not e.is_dual_horn

@@ -1,0 +1,72 @@
+"""Exhaustive-oracle tests: the search engine vs all possible maps.
+
+On tiny instances we can enumerate *every* function from A's universe to
+B's universe and check the homomorphism condition directly — a ground
+truth independent of all library search code.
+"""
+
+from itertools import product
+
+from hypothesis import given, settings
+
+from repro.structures.homomorphism import (
+    all_homomorphisms,
+    count_homomorphisms,
+    find_homomorphism,
+    is_homomorphism,
+)
+
+from conftest import structure_pairs
+
+
+def brute_force_homomorphisms(a, b):
+    """Every map A→B satisfying the homomorphism condition, exhaustively."""
+    elements = sorted(a.universe, key=repr)
+    values = sorted(b.universe, key=repr)
+    found = []
+    for image in product(values, repeat=len(elements)):
+        mapping = dict(zip(elements, image))
+        if all(
+            tuple(mapping[e] for e in fact) in b.relation(name)
+            for name, fact in a.facts()
+        ):
+            found.append(mapping)
+    return found
+
+
+class TestAgainstExhaustiveEnumeration:
+    @given(structure_pairs(max_elements=3, max_facts=4))
+    @settings(max_examples=60, deadline=None)
+    def test_existence_agrees(self, pair):
+        a, b = pair
+        expected = bool(brute_force_homomorphisms(a, b))
+        assert (find_homomorphism(a, b) is not None) == expected
+
+    @given(structure_pairs(max_elements=3, max_facts=3))
+    @settings(max_examples=40, deadline=None)
+    def test_count_agrees(self, pair):
+        a, b = pair
+        assert count_homomorphisms(a, b) == len(
+            brute_force_homomorphisms(a, b)
+        )
+
+    @given(structure_pairs(max_elements=3, max_facts=3))
+    @settings(max_examples=30, deadline=None)
+    def test_enumeration_is_exactly_the_brute_force_set(self, pair):
+        a, b = pair
+        ours = {
+            tuple(sorted(h.items(), key=repr))
+            for h in all_homomorphisms(a, b)
+        }
+        truth = {
+            tuple(sorted(h.items(), key=repr))
+            for h in brute_force_homomorphisms(a, b)
+        }
+        assert ours == truth
+
+    @given(structure_pairs(max_elements=3, max_facts=3))
+    @settings(max_examples=30, deadline=None)
+    def test_is_homomorphism_matches_condition(self, pair):
+        a, b = pair
+        for mapping in brute_force_homomorphisms(a, b):
+            assert is_homomorphism(mapping, a, b)

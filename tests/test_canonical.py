@@ -1,0 +1,98 @@
+"""Tests for canonical databases and canonical queries (Section 2)."""
+
+import pytest
+
+from repro.cq.canonical import (
+    DISTINGUISHED_PREFIX,
+    body_structure,
+    canonical_database,
+    canonical_query,
+    distinguished_marker,
+    query_of_structure,
+)
+from repro.cq.parser import parse_query
+from repro.exceptions import VocabularyError
+from repro.structures.graphs import clique, cycle
+from repro.structures.homomorphism import homomorphism_exists
+
+
+class TestCanonicalDatabase:
+    def test_paper_example(self):
+        # "the canonical database consists of the facts P(X1,Z1,Z2),
+        #  R(Z2,Z3), R(Z3,X2), P1(X1), P2(X2)"
+        q = parse_query(
+            "Q(X1, X2) :- P(X1, Z1, Z2), R(Z2, Z3), R(Z3, X2)."
+        )
+        d = canonical_database(q)
+        assert d.holds("P", ("X1", "Z1", "Z2"))
+        assert d.holds("R", ("Z2", "Z3"))
+        assert d.holds("R", ("Z3", "X2"))
+        assert d.holds(f"{DISTINGUISHED_PREFIX}0", ("X1",))
+        assert d.holds(f"{DISTINGUISHED_PREFIX}1", ("X2",))
+        assert d.universe == {"X1", "X2", "Z1", "Z2", "Z3"}
+
+    def test_marker_symbol(self):
+        marker = distinguished_marker(3)
+        assert marker.arity == 1
+        assert marker.name.startswith(DISTINGUISHED_PREFIX)
+
+    def test_body_structure_has_no_markers(self):
+        q = parse_query("Q(X) :- E(X, Y).")
+        body = body_structure(q)
+        assert all(
+            not s.name.startswith(DISTINGUISHED_PREFIX)
+            for s in body.vocabulary
+        )
+
+    def test_head_variable_outside_body_still_an_element(self):
+        q = parse_query("Q(W) :- E(X, Y).")
+        d = canonical_database(q)
+        assert "W" in d.universe
+
+    def test_widening_vocabulary(self):
+        q = parse_query("Q(X) :- E(X, Y).")
+        from repro.structures.vocabulary import Vocabulary
+
+        wider = Vocabulary.from_arities({"E": 2, "F": 3})
+        d = canonical_database(q, wider)
+        assert "F" in d.vocabulary
+
+    def test_repeated_head_variables_share_marker_elements(self):
+        q = parse_query("Q(X, X) :- E(X, Y).")
+        d = canonical_database(q)
+        assert d.holds(f"{DISTINGUISHED_PREFIX}0", ("X",))
+        assert d.holds(f"{DISTINGUISHED_PREFIX}1", ("X",))
+
+
+class TestCanonicalQuery:
+    def test_boolean_query_of_structure(self):
+        q = query_of_structure(cycle(3))
+        assert q.is_boolean
+        assert len(q) == cycle(3).num_facts
+
+    def test_head_elements(self):
+        q = canonical_query(clique(2), (0,))
+        assert q.arity == 1
+
+    def test_head_element_must_exist(self):
+        with pytest.raises(VocabularyError):
+            canonical_query(clique(2), (99,))
+
+    def test_homomorphism_iff_containment_of_canonical_queries(self):
+        # Section 2: A -> B iff Q_B <= Q_A
+        from repro.cq.containment import contains
+
+        a, b = cycle(6), clique(2)
+        assert homomorphism_exists(a, b)
+        assert contains(query_of_structure(b), query_of_structure(a))
+
+        a2 = cycle(5)
+        assert not homomorphism_exists(a2, b)
+        assert not contains(query_of_structure(b), query_of_structure(a2))
+
+    def test_canonical_roundtrip_preserves_homomorphism_semantics(self):
+        # D_{Q_A} is isomorphic to A (modulo variable names)
+        a = cycle(4)
+        q = query_of_structure(a)
+        d = body_structure(q)
+        assert homomorphism_exists(d, a) and homomorphism_exists(a, d)

@@ -1,0 +1,91 @@
+"""Tests for the CNF substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat.cnf import CNF, clause_is_dual_horn, clause_is_horn
+
+
+def cnf_strategy(max_vars=5, max_clauses=8, max_len=3):
+    @st.composite
+    def build(draw):
+        n = draw(st.integers(min_value=1, max_value=max_vars))
+        clauses = []
+        for _ in range(draw(st.integers(min_value=0, max_value=max_clauses))):
+            length = draw(st.integers(min_value=1, max_value=max_len))
+            clause = tuple(
+                draw(st.integers(min_value=1, max_value=n))
+                * draw(st.sampled_from([1, -1]))
+                for _ in range(length)
+            )
+            clauses.append(clause)
+        return CNF(n, clauses)
+
+    return build()
+
+
+class TestClauses:
+    def test_horn_recognition(self):
+        assert clause_is_horn((-1, -2, 3))
+        assert clause_is_horn((-1, -2))
+        assert clause_is_horn((3,))
+        assert not clause_is_horn((1, 2))
+        assert clause_is_horn(())
+
+    def test_dual_horn_recognition(self):
+        assert clause_is_dual_horn((1, 2, -3))
+        assert clause_is_dual_horn((1, 2))
+        assert not clause_is_dual_horn((-1, -2))
+
+
+class TestCNF:
+    def test_literal_zero_rejected(self):
+        with pytest.raises(ValueError):
+            CNF(2, [(0,)])
+
+    def test_out_of_range_literal_rejected(self):
+        with pytest.raises(ValueError):
+            CNF(2, [(3,)])
+        with pytest.raises(ValueError):
+            CNF(2, [(-3,)])
+
+    def test_add_clause_validates(self):
+        formula = CNF(2)
+        formula.add_clause((1, -2))
+        assert len(formula) == 1
+        with pytest.raises(ValueError):
+            formula.add_clause((5,))
+
+    def test_size_counts_literals(self):
+        formula = CNF(3, [(1, -2), (3,), ()])
+        assert formula.size == 3
+
+    def test_class_flags(self):
+        assert CNF(3, [(-1, -2, 3), (-3,)]).is_horn
+        assert not CNF(3, [(1, 2)]).is_horn
+        assert CNF(3, [(1, 2, -3)]).is_dual_horn
+        assert CNF(2, [(1, -2), (2,)]).is_2cnf
+        assert not CNF(3, [(1, 2, 3)]).is_2cnf
+
+    def test_evaluate(self):
+        formula = CNF(2, [(1, 2), (-1, -2)])
+        assert formula.evaluate({1: True, 2: False})
+        assert not formula.evaluate({1: True, 2: True})
+
+    def test_empty_clause_unsatisfiable(self):
+        assert not CNF(1, [()]).is_satisfiable_bruteforce()
+
+    def test_empty_formula_satisfiable(self):
+        assert CNF(0, []).is_satisfiable_bruteforce()
+
+    def test_all_models_of_xor_like(self):
+        formula = CNF(2, [(1, 2), (-1, -2)])
+        models = list(formula.all_models())
+        assert len(models) == 2
+
+    @given(cnf_strategy())
+    @settings(max_examples=50, deadline=None)
+    def test_models_satisfy(self, formula):
+        for model in formula.all_models():
+            assert formula.evaluate(model)

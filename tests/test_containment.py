@@ -1,0 +1,146 @@
+"""Tests for Chandra–Merlin containment (Theorem 2.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cq.containment import (
+    containment_witness,
+    contains,
+    contains_via_evaluation,
+    equivalent,
+)
+from repro.cq.parser import parse_query
+from repro.cq.query import Atom, ConjunctiveQuery
+from repro.exceptions import VocabularyError
+
+
+@st.composite
+def small_queries(draw, head_width=1):
+    variables = ["X", "Y", "Z", "W"]
+    atoms = []
+    for _ in range(draw(st.integers(min_value=1, max_value=3))):
+        atoms.append(
+            Atom(
+                draw(st.sampled_from(["E", "F"])),
+                (
+                    draw(st.sampled_from(variables)),
+                    draw(st.sampled_from(variables)),
+                ),
+            )
+        )
+    head = tuple(
+        draw(st.sampled_from(variables)) for _ in range(head_width)
+    )
+    return ConjunctiveQuery(head, atoms)
+
+
+class TestBasicContainment:
+    def test_longer_path_contained_in_shorter(self):
+        q1 = parse_query("Q(X) :- E(X, Y), E(Y, Z).")
+        q2 = parse_query("Q(X) :- E(X, Y).")
+        assert contains(q1, q2)
+        assert not contains(q2, q1)
+
+    def test_self_containment(self):
+        q = parse_query("Q(X) :- E(X, Y), E(Y, X).")
+        assert contains(q, q)
+        assert equivalent(q, q)
+
+    def test_equivalent_up_to_renaming_of_existentials(self):
+        q1 = parse_query("Q(X) :- E(X, Y).")
+        q2 = parse_query("Q(X) :- E(X, Z).")
+        assert equivalent(q1, q2)
+
+    def test_distinguished_variables_pinned(self):
+        # Q1 returns successors, Q2 returns predecessors: incomparable
+        q1 = parse_query("Q(X) :- E(X, Y).")
+        q2 = parse_query("Q(X) :- E(Y, X).")
+        assert not contains(q1, q2)
+        assert not contains(q2, q1)
+
+    def test_boolean_queries(self):
+        q1 = parse_query("Q :- E(X, Y), E(Y, X).")   # a 2-cycle exists
+        q2 = parse_query("Q :- E(X, Y).")            # an edge exists
+        assert contains(q1, q2)
+        assert not contains(q2, q1)
+
+    def test_different_predicates_incomparable(self):
+        q1 = parse_query("Q(X) :- E(X, Y).")
+        q2 = parse_query("Q(X) :- F(X, Y).")
+        assert not contains(q1, q2)
+        assert not contains(q2, q1)
+
+    def test_arity_mismatch_rejected(self):
+        q1 = parse_query("Q(X) :- E(X, Y).")
+        q2 = parse_query("Q(X, Y) :- E(X, Y).")
+        with pytest.raises(VocabularyError):
+            contains(q1, q2)
+
+    def test_cycle_lengths(self):
+        # a 6-cycle pattern is contained in the 2-cycle pattern's
+        # generalization?  use triangle vs self-loop instead:
+        triangle = parse_query("Q :- E(X, Y), E(Y, Z), E(Z, X).")
+        loop = parse_query("Q :- E(X, X).")
+        # loop -> triangle body hom exists (maps all to X), so
+        # loop <= triangle
+        assert contains(loop, triangle)
+        assert not contains(triangle, loop)
+
+    def test_query_with_empty_body_contains_everything_of_its_shape(self):
+        empty = parse_query("Q(X) :- .")
+        q = parse_query("Q(X) :- E(X, Y).")
+        assert contains(q, empty)
+        assert not contains(empty, q)
+
+
+class TestWitness:
+    def test_witness_is_variable_map(self):
+        q1 = parse_query("Q(X) :- E(X, Y), E(Y, Z).")
+        q2 = parse_query("Q(X) :- E(X, Y).")
+        witness = containment_witness(q1, q2)
+        assert witness is not None
+        assert witness["X"] == "X"
+        # the image of q2's Y must be a successor of X in q1
+        assert witness["Y"] == "Y"
+
+    def test_no_witness_when_not_contained(self):
+        q1 = parse_query("Q(X) :- E(X, Y).")
+        q2 = parse_query("Q(X) :- E(X, Y), E(Y, Z).")
+        assert containment_witness(q1, q2) is None
+
+
+class TestEvaluationRoute:
+    @given(small_queries(), small_queries())
+    @settings(max_examples=60, deadline=None)
+    def test_agrees_with_homomorphism_route(self, q1, q2):
+        assert contains(q1, q2) == contains_via_evaluation(q1, q2)
+
+    @given(small_queries(head_width=2), small_queries(head_width=2))
+    @settings(max_examples=40, deadline=None)
+    def test_agrees_binary_heads(self, q1, q2):
+        assert contains(q1, q2) == contains_via_evaluation(q1, q2)
+
+
+class TestPreorderProperties:
+    @given(small_queries())
+    @settings(max_examples=30, deadline=None)
+    def test_reflexive(self, q):
+        assert contains(q, q)
+
+    @given(small_queries(), small_queries(), small_queries())
+    @settings(max_examples=40, deadline=None)
+    def test_transitive(self, a, b, c):
+        if contains(a, b) and contains(b, c):
+            assert contains(a, c)
+
+    @given(small_queries())
+    @settings(max_examples=30, deadline=None)
+    def test_adding_atoms_shrinks(self, q):
+        # adding an atom to the body can only shrink the answer set
+        extended = ConjunctiveQuery(
+            q.head_variables,
+            q.atoms + (Atom("E", ("X", "X")),),
+            q.name,
+        )
+        assert contains(extended, q)

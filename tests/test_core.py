@@ -1,0 +1,162 @@
+"""Tests for the core API: HomomorphismProblem and the uniform solver."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.problem import HomomorphismProblem
+from repro.core.solver import Solution, solve
+from repro.cq.containment import contains
+from repro.cq.evaluation import holds
+from repro.cq.parser import parse_query
+from repro.csp.instance import Constraint, CSPInstance
+from repro.exceptions import VocabularyError
+from repro.structures.graphs import (
+    clique,
+    cycle,
+    directed_cycle,
+    random_digraph,
+)
+from repro.structures.homomorphism import (
+    homomorphism_exists,
+    is_homomorphism,
+)
+from repro.structures.structure import Structure
+from repro.structures.vocabulary import Vocabulary
+
+from conftest import structure_pairs
+
+
+class TestHomomorphismProblem:
+    def test_vocabulary_mismatch_rejected(self):
+        with pytest.raises(VocabularyError):
+            HomomorphismProblem(
+                cycle(3), Structure(Vocabulary.from_arities({"F": 2}))
+            )
+
+    def test_from_containment(self):
+        q1 = parse_query("Q(X) :- E(X, Y), E(Y, Z).")
+        q2 = parse_query("Q(X) :- E(X, Y).")
+        problem = HomomorphismProblem.from_containment(q1, q2)
+        # Q1 <= Q2 iff a homomorphism exists for this instance
+        assert homomorphism_exists(problem.source, problem.target) == (
+            contains(q1, q2)
+        )
+
+    def test_from_containment_arity_mismatch(self):
+        q1 = parse_query("Q(X) :- E(X, Y).")
+        q2 = parse_query("Q(X, Y) :- E(X, Y).")
+        with pytest.raises(VocabularyError):
+            HomomorphismProblem.from_containment(q1, q2)
+
+    def test_from_csp(self):
+        instance = CSPInstance(
+            ["a", "b"],
+            {"a": {0, 1}, "b": {0, 1}},
+            [Constraint(("a", "b"), frozenset({(0, 1), (1, 0)}))],
+        )
+        problem = HomomorphismProblem.from_csp(instance)
+        assert homomorphism_exists(problem.source, problem.target)
+
+    def test_to_containment(self):
+        problem = HomomorphismProblem(cycle(6), clique(2))
+        qb, qa = problem.to_containment()
+        assert contains(qb, qa)  # C6 -> K2 so Q_{K2} <= Q_{C6}
+        problem_odd = HomomorphismProblem(cycle(5), clique(2))
+        qb2, qa2 = problem_odd.to_containment()
+        assert not contains(qb2, qa2)
+
+    def test_to_evaluation(self):
+        problem = HomomorphismProblem(cycle(6), clique(2))
+        query, database = problem.to_evaluation()
+        assert holds(query, database)
+        problem_odd = HomomorphismProblem(cycle(5), clique(2))
+        query2, database2 = problem_odd.to_evaluation()
+        assert not holds(query2, database2)
+
+    def test_check(self):
+        problem = HomomorphismProblem(cycle(4), clique(2))
+        assert problem.check({0: 0, 1: 1, 2: 0, 3: 1})
+        assert not problem.check({0: 0, 1: 0, 2: 0, 3: 0})
+
+    @given(structure_pairs(max_elements=3, max_facts=4))
+    @settings(max_examples=25, deadline=None)
+    def test_three_formulations_agree(self, pair):
+        a, b = pair
+        problem = HomomorphismProblem(a, b)
+        direct = homomorphism_exists(a, b)
+        qb, qa = problem.to_containment()
+        query, database = problem.to_evaluation()
+        assert contains(qb, qa) == direct
+        assert holds(query, database) == direct
+
+
+class TestUniformSolver:
+    def test_schaefer_routing(self):
+        c4 = directed_cycle(4)
+        from repro.boolean.booleanize import booleanize
+
+        bz = booleanize(random_digraph(5, 0.3, seed=1), c4)
+        solution = solve(bz.source, bz.target)
+        assert solution.strategy == "affine-gf2"
+
+    def test_trivial_routing(self):
+        vocabulary = Vocabulary.from_arities({"R": 2})
+        target = Structure(vocabulary, {0, 1}, {"R": {(0, 0)}})
+        source = Structure(vocabulary, range(3), {"R": {(0, 1)}})
+        solution = solve(source, target)
+        assert solution.strategy == "zero-valid"
+        assert solution.exists
+
+    def test_treewidth_routing(self):
+        solution = solve(cycle(6), clique(3))
+        assert solution.strategy.startswith("treewidth-dp")
+        assert solution.exists
+
+    def test_backtracking_fallback(self):
+        # a clique source has huge width, forcing backtracking
+        solution = solve(clique(6), clique(6), width_threshold=2)
+        assert solution.strategy == "backtracking"
+        assert solution.exists
+
+    def test_pebble_refutation(self):
+        # K4 -> K3 is 3-consistent (any 2-vertex partial coloring extends),
+        # so the Spoiler needs all 4 pebbles to expose the contradiction.
+        solution = solve(
+            clique(4),
+            clique(3),
+            width_threshold=1,
+            try_pebble_refutation=4,
+        )
+        assert solution.strategy == "pebble-refutation(k=4)"
+        assert not solution.exists
+
+    def test_pebble_refutation_insufficient_pebbles_falls_through(self):
+        solution = solve(
+            clique(4),
+            clique(3),
+            width_threshold=1,
+            try_pebble_refutation=2,
+        )
+        assert solution.strategy == "backtracking"
+        assert not solution.exists
+
+    def test_solution_dataclass(self):
+        solution = Solution({0: 1}, "test")
+        assert solution.exists
+        assert not Solution(None, "test").exists
+
+    @given(structure_pairs(max_elements=4, max_facts=5))
+    @settings(max_examples=50, deadline=None)
+    def test_always_correct(self, pair):
+        a, b = pair
+        solution = solve(a, b)
+        assert solution.exists == homomorphism_exists(a, b)
+        if solution.exists:
+            assert is_homomorphism(solution.homomorphism, a, b)
+
+    @given(structure_pairs(max_elements=3, max_facts=4))
+    @settings(max_examples=25, deadline=None)
+    def test_correct_with_pebble_refutation(self, pair):
+        a, b = pair
+        solution = solve(a, b, width_threshold=0, try_pebble_refutation=2)
+        assert solution.exists == homomorphism_exists(a, b)

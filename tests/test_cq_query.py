@@ -1,0 +1,164 @@
+"""Tests for the conjunctive-query AST and parser."""
+
+import pytest
+
+from repro.cq.parser import parse_atom_list, parse_query
+from repro.cq.query import Atom, ConjunctiveQuery
+from repro.exceptions import ParseError, VocabularyError
+
+
+class TestAtom:
+    def test_fields(self):
+        atom = Atom("E", ("X", "Y"))
+        assert atom.relation == "E" and atom.arity == 2
+
+    def test_str(self):
+        assert str(Atom("E", ("X", "Y"))) == "E(X, Y)"
+
+    def test_empty_relation_name_rejected(self):
+        with pytest.raises(ParseError):
+            Atom("", ("X",))
+
+    def test_nullary_atom(self):
+        assert Atom("S", ()).arity == 0
+
+
+class TestConjunctiveQuery:
+    def test_basic(self):
+        q = ConjunctiveQuery(("X",), [("E", ("X", "Y"))])
+        assert q.arity == 1
+        assert q.head_variables == ("X",)
+        assert len(q) == 1
+
+    def test_variables_and_existential(self):
+        q = ConjunctiveQuery(
+            ("X",), [("E", ("X", "Y")), ("E", ("Y", "Z"))]
+        )
+        assert q.variables == {"X", "Y", "Z"}
+        assert q.existential_variables == {"Y", "Z"}
+
+    def test_head_variable_not_in_body_allowed(self):
+        q = ConjunctiveQuery(("W",), [("E", ("X", "Y"))])
+        assert "W" in q.variables
+
+    def test_boolean_query(self):
+        q = ConjunctiveQuery((), [("E", ("X", "Y"))])
+        assert q.is_boolean and q.arity == 0
+
+    def test_repeated_head_variables(self):
+        q = ConjunctiveQuery(("X", "X"), [("E", ("X", "Y"))])
+        assert q.arity == 2
+
+    def test_arity_clash_rejected(self):
+        with pytest.raises(VocabularyError):
+            ConjunctiveQuery(
+                (), [("E", ("X", "Y")), ("E", ("X",))]
+            )
+
+    def test_vocabulary(self):
+        q = ConjunctiveQuery(
+            (), [("E", ("X", "Y")), ("P", ("X",))]
+        )
+        assert q.vocabulary.arity("E") == 2
+        assert q.vocabulary.arity("P") == 1
+
+    def test_occurrence_counts_and_two_atom(self):
+        q = ConjunctiveQuery(
+            (),
+            [("E", ("X", "Y")), ("E", ("Y", "Z")), ("P", ("X",))],
+        )
+        assert q.occurrence_counts() == {"E": 2, "P": 1}
+        assert q.is_two_atom
+        q3 = ConjunctiveQuery(
+            (),
+            [("E", ("X", "Y")), ("E", ("Y", "Z")), ("E", ("Z", "X"))],
+        )
+        assert not q3.is_two_atom
+
+    def test_equality_ignores_atom_order(self):
+        q1 = ConjunctiveQuery(
+            ("X",), [("E", ("X", "Y")), ("P", ("Y",))]
+        )
+        q2 = ConjunctiveQuery(
+            ("X",), [("P", ("Y",)), ("E", ("X", "Y"))]
+        )
+        assert q1 == q2 and hash(q1) == hash(q2)
+
+    def test_duplicate_atoms_collapse(self):
+        q = ConjunctiveQuery(
+            (), [("E", ("X", "Y")), ("E", ("X", "Y"))]
+        )
+        assert len(q) == 1
+
+    def test_rename_variables(self):
+        q = ConjunctiveQuery(("X",), [("E", ("X", "Y"))])
+        renamed = q.rename_variables({"X": "A", "Y": "B"})
+        assert renamed.head_variables == ("A",)
+        assert renamed.atoms[0].terms == ("A", "B")
+
+    def test_rename_must_be_injective(self):
+        q = ConjunctiveQuery(("X",), [("E", ("X", "Y"))])
+        with pytest.raises(VocabularyError):
+            q.rename_variables({"X": "Y"})
+
+    def test_str_roundtrip_through_parser(self):
+        q = ConjunctiveQuery(
+            ("X1", "X2"),
+            [("P", ("X1", "Z1", "Z2")), ("R", ("Z2", "Z3"))],
+        )
+        assert parse_query(str(q)) == q
+
+    def test_size(self):
+        q = ConjunctiveQuery(("X",), [("E", ("X", "Y"))])
+        assert q.size == 1 + 3
+
+
+class TestParser:
+    def test_paper_example(self):
+        q = parse_query(
+            "Q(X1, X2) :- P(X1, Z1, Z2), R(Z2, Z3), R(Z3, X2)."
+        )
+        assert q.head_variables == ("X1", "X2")
+        assert len(q) == 3
+        assert q.vocabulary.arity("P") == 3
+
+    def test_boolean_forms(self):
+        for text in ("Q :- E(X, X).", "Q() :- E(X, X)."):
+            q = parse_query(text)
+            assert q.is_boolean and len(q) == 1
+
+    def test_empty_body(self):
+        q = parse_query("Q(X) :- .")
+        assert len(q) == 0
+
+    def test_name_override(self):
+        q = parse_query("Q(X) :- E(X, Y).", name="Renamed")
+        assert q.name == "Renamed"
+
+    def test_missing_arrow_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("Q(X) E(X, Y)")
+
+    def test_bad_head_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("Q(X,) :- E(X, Y)")
+
+    def test_bad_atom_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("Q(X) :- E(X Y)")
+
+    def test_missing_comma_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("Q(X) :- E(X, Y) E(Y, Z)")
+
+    def test_parse_atom_list(self):
+        atoms = parse_atom_list("E(X, Y), P(Z)")
+        assert [a.relation for a in atoms] == ["E", "P"]
+
+    def test_parse_atom_list_empty(self):
+        assert parse_atom_list("  ") == []
+
+    def test_whitespace_insensitive(self):
+        q1 = parse_query("Q(X):-E(X,Y),P(Y).")
+        q2 = parse_query("Q( X ) :-  E( X , Y ) ,  P( Y ) .")
+        assert q1 == q2

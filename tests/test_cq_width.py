@@ -1,0 +1,68 @@
+"""Tests for query-width measures and width-aware containment."""
+
+from hypothesis import given, settings
+
+from repro.cq.containment import contains
+from repro.cq.parser import parse_query
+from repro.cq.width import (
+    contains_bounded_width,
+    is_acyclic_width,
+    query_treewidth,
+    query_treewidth_upper_bound,
+)
+from repro.csp.generators import random_chain_query, random_two_atom_query
+
+
+class TestWidthMeasures:
+    def test_chain_query_is_acyclic(self):
+        q = random_chain_query(5)
+        assert query_treewidth(q) == 1
+        assert is_acyclic_width(q)
+
+    def test_triangle_query_width_two(self):
+        q = parse_query("Q :- E(X, Y), E(Y, Z), E(Z, X).")
+        assert query_treewidth(q) == 2
+        assert not is_acyclic_width(q)
+
+    def test_single_atom_width(self):
+        q = parse_query("Q(X) :- E(X, Y).")
+        assert query_treewidth(q) == 1
+
+    def test_wide_atom_width(self):
+        q = parse_query("Q :- T(X, Y, Z, W).")
+        assert query_treewidth(q) == 3  # 4-clique in the Gaifman graph
+
+    def test_upper_bound_dominates_exact(self):
+        for text in (
+            "Q :- E(X, Y), E(Y, Z), E(Z, X).",
+            "Q(X) :- E(X, Y), E(Y, Z), E(Z, W).",
+        ):
+            q = parse_query(text)
+            assert query_treewidth_upper_bound(q) >= query_treewidth(q)
+
+    def test_markers_do_not_inflate_width(self):
+        open_q = parse_query("Q(X0, X5) :- E(X0, X1), E(X1, X2), "
+                             "E(X2, X3), E(X3, X4), E(X4, X5).")
+        assert query_treewidth(open_q) == 1
+
+
+class TestBoundedWidthContainment:
+    def test_basic_positive_and_negative(self):
+        q1 = parse_query("Q(X) :- E(X, Y), E(Y, Z).")
+        q2 = parse_query("Q(X) :- E(X, Y).")
+        assert contains_bounded_width(q1, q2)
+        assert not contains_bounded_width(q2, q1)
+
+    def test_agrees_with_general_containment(self):
+        for seed in range(12):
+            q1 = random_two_atom_query(2, 4, seed=seed)
+            q2 = random_two_atom_query(2, 4, seed=seed + 77)
+            assert contains_bounded_width(q1, q2) == contains(q1, q2)
+
+    def test_chain_queries(self):
+        long = random_chain_query(6)
+        short = random_chain_query(3)
+        # head variables pin the endpoints: neither containment holds in
+        # general (path lengths differ), but both routes must agree
+        assert contains_bounded_width(long, short) == contains(long, short)
+        assert contains_bounded_width(short, long) == contains(short, long)

@@ -1,0 +1,114 @@
+"""Tests for AI-style CSP instances and the homomorphism bridge."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.csp.instance import (
+    Constraint,
+    CSPInstance,
+    instance_from_homomorphism,
+)
+from repro.exceptions import VocabularyError
+from repro.structures.graphs import clique, cycle
+from repro.structures.homomorphism import (
+    find_homomorphism,
+    homomorphism_exists,
+)
+
+from conftest import structure_pairs
+
+
+def coloring_csp(n_vertices, edges, colors):
+    variables = list(range(n_vertices))
+    domains = {v: set(range(colors)) for v in variables}
+    allowed = frozenset(
+        (a, b) for a in range(colors) for b in range(colors) if a != b
+    )
+    constraints = [Constraint((u, v), allowed) for u, v in edges]
+    return CSPInstance(variables, domains, constraints)
+
+
+class TestConstraint:
+    def test_satisfied_by(self):
+        c = Constraint(("x", "y"), frozenset({(0, 1)}))
+        assert c.satisfied_by({"x": 0, "y": 1})
+        assert not c.satisfied_by({"x": 1, "y": 0})
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(VocabularyError):
+            Constraint(("x",), frozenset({(0, 1)}))
+
+
+class TestCSPInstance:
+    def test_undeclared_scope_variable_rejected(self):
+        with pytest.raises(VocabularyError):
+            CSPInstance(
+                ["x"],
+                {"x": {0}},
+                [Constraint(("x", "y"), frozenset({(0, 0)}))],
+            )
+
+    def test_is_solution(self):
+        instance = coloring_csp(3, [(0, 1), (1, 2)], 2)
+        assert instance.is_solution({0: 0, 1: 1, 2: 0})
+        assert not instance.is_solution({0: 0, 1: 0, 2: 1})
+        assert not instance.is_solution({0: 0, 1: 1})       # partial
+        assert not instance.is_solution({0: 9, 1: 1, 2: 0})  # off-domain
+
+    def test_to_homomorphism_roundtrip_solvability(self):
+        triangle = coloring_csp(3, [(0, 1), (1, 2), (2, 0)], 2)
+        source, target = triangle.to_homomorphism()
+        assert not homomorphism_exists(source, target)
+
+        square = coloring_csp(4, [(0, 1), (1, 2), (2, 3), (3, 0)], 2)
+        source, target = square.to_homomorphism()
+        hom = find_homomorphism(source, target)
+        assert hom is not None
+        solution = {v: hom[v] for v in square.variables}
+        assert square.is_solution(solution)
+
+    def test_domain_constraints_respected(self):
+        instance = CSPInstance(
+            ["x", "y"],
+            {"x": {0}, "y": {0, 1}},
+            [Constraint(("x", "y"), frozenset({(0, 1), (1, 0)}))],
+        )
+        source, target = instance.to_homomorphism()
+        hom = find_homomorphism(source, target)
+        assert hom is not None and hom["x"] == 0 and hom["y"] == 1
+
+    def test_empty_domain_unsolvable(self):
+        instance = CSPInstance(["x"], {"x": set()}, [])
+        source, target = instance.to_homomorphism()
+        assert not homomorphism_exists(source, target)
+
+
+class TestFromHomomorphism:
+    def test_coloring_roundtrip(self):
+        instance = instance_from_homomorphism(cycle(5), clique(3))
+        assert len(instance.variables) == 5
+        assert len(instance.constraints) == cycle(5).num_facts
+        solution = {
+            v: h for v, h in find_homomorphism(cycle(5), clique(3)).items()
+        }
+        assert instance.is_solution(solution)
+
+    def test_vocabulary_mismatch_rejected(self):
+        from repro.structures.structure import Structure
+        from repro.structures.vocabulary import Vocabulary
+
+        other = Structure(Vocabulary.from_arities({"F": 1}))
+        with pytest.raises(VocabularyError):
+            instance_from_homomorphism(cycle(3), other)
+
+    @given(structure_pairs(max_elements=3, max_facts=4))
+    @settings(max_examples=40, deadline=None)
+    def test_solutions_coincide_with_homomorphisms(self, pair):
+        a, b = pair
+        instance = instance_from_homomorphism(a, b)
+        hom = find_homomorphism(a, b)
+        if hom is None:
+            source, target = instance.to_homomorphism()
+            assert not homomorphism_exists(source, target)
+        else:
+            assert instance.is_solution(hom)

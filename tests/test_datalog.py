@@ -1,0 +1,162 @@
+"""Tests for the Datalog engine (Section 4.1)."""
+
+import pytest
+
+from repro.datalog.evaluation import evaluate_program, goal_holds
+from repro.datalog.program import (
+    DatalogProgram,
+    Rule,
+    parse_program,
+    parse_rule,
+)
+from repro.cq.query import Atom
+from repro.exceptions import DatalogError
+from repro.structures.graphs import cycle, digraph_structure, path
+from repro.structures.structure import Structure
+from repro.structures.vocabulary import Vocabulary
+
+TC_PROGRAM = """
+# transitive closure
+T(X, Y) :- E(X, Y)
+T(X, Y) :- T(X, Z), E(Z, Y)
+"""
+
+NON2COL_PROGRAM = """
+P(X, Y) :- E(X, Y)
+P(X, Y) :- P(X, Z), E(Z, W), E(W, Y)
+Q() :- P(X, X)
+"""
+
+
+class TestProgramStructure:
+    def test_parse_rule(self):
+        rule = parse_rule("P(X, Y) :- P(X, Z), E(Z, Y).")
+        assert rule.head.relation == "P"
+        assert len(rule.body) == 2
+
+    def test_parse_bodyless_rule(self):
+        rule = parse_rule("T(X, X)")
+        assert rule.body == ()
+        assert rule.unsafe_variables == {"X"}
+
+    def test_idb_edb_split(self):
+        program = parse_program(TC_PROGRAM, goal="T")
+        assert program.idb_predicates == {"T"}
+        assert program.edb_predicates == {"E"}
+
+    def test_goal_must_be_idb(self):
+        with pytest.raises(DatalogError):
+            parse_program(TC_PROGRAM, goal="E")
+
+    def test_arity_consistency_enforced(self):
+        with pytest.raises(DatalogError):
+            DatalogProgram(
+                [
+                    Rule(Atom("P", ("X",)), (Atom("E", ("X", "Y")),)),
+                    Rule(Atom("P", ("X", "Y")), (Atom("E", ("X", "Y")),)),
+                ],
+                goal="P",
+            )
+
+    def test_k_datalog_membership(self):
+        program = parse_program(NON2COL_PROGRAM, goal="Q")
+        assert program.max_distinct_variables() == 4
+        assert program.is_k_datalog(4)
+        assert not program.is_k_datalog(3)
+
+    def test_comments_ignored(self):
+        program = parse_program(
+            "T(X, Y) :- E(X, Y)  % inline\n# whole line\n", goal="T"
+        )
+        assert len(program) == 1
+
+    def test_str_roundtrip(self):
+        program = parse_program(TC_PROGRAM, goal="T")
+        assert "T(X, Y)" in str(program)
+
+
+class TestEvaluation:
+    def test_transitive_closure(self):
+        program = parse_program(TC_PROGRAM, goal="T")
+        chain = digraph_structure(range(4), [(0, 1), (1, 2), (2, 3)])
+        relations = evaluate_program(program, chain)
+        assert relations["T"] == {
+            (0, 1), (1, 2), (2, 3),
+            (0, 2), (1, 3),
+            (0, 3),
+        }
+
+    def test_cycle_closure_is_complete(self):
+        program = parse_program(TC_PROGRAM, goal="T")
+        relations = evaluate_program(
+            program, digraph_structure(range(3), [(0, 1), (1, 2), (2, 0)])
+        )
+        assert len(relations["T"]) == 9
+
+    def test_goal_holds_non2colorability(self):
+        program = parse_program(NON2COL_PROGRAM, goal="Q")
+        assert goal_holds(program, cycle(5))
+        assert goal_holds(program, cycle(7))
+        assert not goal_holds(program, cycle(6))
+        assert not goal_holds(program, path(5))
+
+    def test_missing_edb_treated_empty(self):
+        program = parse_program(TC_PROGRAM, goal="T")
+        no_edges = Structure(Vocabulary.from_arities({"E": 2}), range(3))
+        assert not goal_holds(program, no_edges)
+
+    def test_unsafe_head_ranges_over_domain(self):
+        program = parse_program(
+            "All(X, Y) :- Node(X)", goal="All"
+        )
+        s = Structure(
+            Vocabulary.from_arities({"Node": 1}),
+            {0, 1, 2},
+            {"Node": {(0,)}},
+        )
+        relations = evaluate_program(program, s)
+        assert relations["All"] == {(0, y) for y in (0, 1, 2)}
+
+    def test_arity_clash_with_structure_rejected(self):
+        program = parse_program(TC_PROGRAM, goal="T")
+        bad = Structure(Vocabulary.from_arities({"E": 3}), (), {"E": {(0, 1, 2)}})
+        with pytest.raises(DatalogError):
+            evaluate_program(program, bad)
+
+    def test_prepopulated_idb_rejected(self):
+        program = parse_program(TC_PROGRAM, goal="T")
+        bad = Structure(
+            Vocabulary.from_arities({"T": 2, "E": 2}),
+            (),
+            {"T": {(0, 1)}, "E": {(0, 1)}},
+        )
+        with pytest.raises(DatalogError):
+            evaluate_program(program, bad)
+
+    def test_mutual_recursion(self):
+        # even/odd distance from node 0 marked by a unary Start
+        program = parse_program(
+            """
+            Even(X) :- Start(X)
+            Odd(Y) :- Even(X), E(X, Y)
+            Even(Y) :- Odd(X), E(X, Y)
+            """,
+            goal="Even",
+        )
+        vocabulary = Vocabulary.from_arities({"Start": 1, "E": 2})
+        chain = Structure(
+            vocabulary,
+            range(4),
+            {"Start": {(0,)}, "E": {(0, 1), (1, 2), (2, 3)}},
+        )
+        relations = evaluate_program(program, chain)
+        assert relations["Even"] == {(0,), (2,)}
+        assert relations["Odd"] == {(1,), (3,)}
+
+    def test_semi_naive_matches_restart_evaluation(self):
+        # evaluating twice from scratch gives identical fixpoints
+        program = parse_program(TC_PROGRAM, goal="T")
+        g = digraph_structure(range(5), [(0, 1), (1, 2), (3, 4), (2, 0)])
+        first = evaluate_program(program, g)
+        second = evaluate_program(program, g)
+        assert first == second

@@ -1,0 +1,137 @@
+"""Tests for conjunctive-query evaluation (hom route vs join route)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cq.evaluation import evaluate, evaluate_join, holds
+from repro.cq.parser import parse_query
+from repro.cq.query import Atom, ConjunctiveQuery
+from repro.structures.graphs import (
+    clique,
+    cycle,
+    digraph_structure,
+    graph_structure,
+    path,
+    random_digraph,
+)
+from repro.structures.structure import Structure
+from repro.structures.vocabulary import Vocabulary
+
+
+class TestEvaluate:
+    def test_single_edge_query(self):
+        q = parse_query("Q(X, Y) :- E(X, Y).")
+        db = digraph_structure(range(3), [(0, 1), (1, 2)])
+        assert evaluate(q, db) == {(0, 1), (1, 2)}
+
+    def test_path_of_length_two(self):
+        q = parse_query("Q(X, Z) :- E(X, Y), E(Y, Z).")
+        db = digraph_structure(range(4), [(0, 1), (1, 2), (2, 3)])
+        assert evaluate(q, db) == {(0, 2), (1, 3)}
+
+    def test_repeated_variable_selects_loops(self):
+        q = parse_query("Q(X) :- E(X, X).")
+        db = digraph_structure(range(3), [(0, 0), (1, 2)])
+        assert evaluate(q, db) == {(0,)}
+
+    def test_boolean_query_truth(self):
+        q = parse_query("Q :- E(X, Y), E(Y, X).")
+        assert holds(q, cycle(4))                       # symmetric edges
+        assert not holds(q, digraph_structure([0, 1], [(0, 1)]))
+
+    def test_boolean_result_shape(self):
+        q = parse_query("Q :- E(X, Y).")
+        assert evaluate(q, digraph_structure([0, 1], [(0, 1)])) == {()}
+        assert evaluate(q, digraph_structure([0, 1], [])) == set()
+
+    def test_head_variable_not_in_body_active_domain(self):
+        q = parse_query("Q(W) :- E(X, Y).")
+        db = digraph_structure(range(3), [(0, 1)])
+        assert evaluate(q, db) == {(0,), (1,), (2,)}
+
+    def test_repeated_head_variable(self):
+        q = parse_query("Q(X, X) :- E(X, Y).")
+        db = digraph_structure(range(2), [(0, 1)])
+        assert evaluate(q, db) == {(0, 0)}
+
+    def test_query_predicate_missing_from_database(self):
+        q = parse_query("Q(X) :- F(X, X).")
+        db = digraph_structure(range(2), [(0, 1)])
+        assert evaluate(q, db) == set()
+
+    def test_empty_body_returns_domain_product(self):
+        q = parse_query("Q(X) :- .")
+        db = digraph_structure(range(3), [])
+        assert evaluate(q, db) == {(0,), (1,), (2,)}
+
+
+class TestJoinEvaluator:
+    def test_matches_on_paper_style_query(self):
+        q = parse_query("Q(X1, X2) :- P(X1, Z1), R(Z1, Z2), R(Z2, X2).")
+        vocabulary = Vocabulary.from_arities({"P": 2, "R": 2})
+        db = Structure(
+            vocabulary,
+            range(5),
+            {
+                "P": {(0, 1), (3, 3)},
+                "R": {(1, 2), (2, 4), (3, 0), (0, 3)},
+            },
+        )
+        assert evaluate_join(q, db) == evaluate(q, db)
+
+    def test_cartesian_when_no_shared_variables(self):
+        q = parse_query("Q(X, Z) :- E(X, Y), F(Z, W).")
+        vocabulary = Vocabulary.from_arities({"E": 2, "F": 2})
+        db = Structure(
+            vocabulary, range(3), {"E": {(0, 1)}, "F": {(2, 0), (1, 1)}}
+        )
+        assert evaluate_join(q, db) == evaluate(q, db) == {
+            (0, 2), (0, 1)
+        }
+
+    def test_empty_intermediate_short_circuits(self):
+        q = parse_query("Q(X) :- E(X, Y), F(Y, Y).")
+        vocabulary = Vocabulary.from_arities({"E": 2, "F": 2})
+        db = Structure(vocabulary, range(3), {"E": {(0, 1)}, "F": set()})
+        assert evaluate_join(q, db) == set()
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_random_agreement_with_hom_route(self, seed):
+        db = random_digraph(4, 0.4, seed=seed)
+        queries = [
+            parse_query("Q(X, Z) :- E(X, Y), E(Y, Z)."),
+            parse_query("Q(X) :- E(X, Y), E(Y, X)."),
+            parse_query("Q(X, Y) :- E(X, Y), E(X, X)."),
+            parse_query("Q :- E(X, Y), E(Y, Z), E(Z, X)."),
+            parse_query("Q(W) :- E(X, Y)."),
+        ]
+        for q in queries:
+            assert evaluate_join(q, db) == evaluate(q, db)
+
+    def test_chain_query_on_path(self):
+        q = parse_query("Q(A, D) :- E(A, B), E(B, C), E(C, D).")
+        db = path(5)
+        assert evaluate_join(q, db) == evaluate(q, db)
+
+    def test_star_query(self):
+        q = parse_query("Q(C) :- E(C, X), E(C, Y), E(C, Z).")
+        db = graph_structure(range(5), [(0, i) for i in range(1, 5)])
+        assert evaluate_join(q, db) == evaluate(q, db)
+        assert (0,) in evaluate(q, db)
+
+
+class TestMonotonicity:
+    def test_evaluation_monotone_under_database_growth(self):
+        q = parse_query("Q(X, Z) :- E(X, Y), E(Y, Z).")
+        small = digraph_structure(range(3), [(0, 1), (1, 2)])
+        large = digraph_structure(range(4), [(0, 1), (1, 2), (2, 3)])
+        assert evaluate(q, small) <= evaluate(q, large)
+
+    def test_containment_implies_answer_inclusion(self):
+        # the semantic definition of containment, checked on a concrete db
+        q1 = parse_query("Q(X) :- E(X, Y), E(Y, Z).")
+        q2 = parse_query("Q(X) :- E(X, Y).")
+        for seed in range(5):
+            db = random_digraph(4, 0.5, seed=seed)
+            assert evaluate(q1, db) <= evaluate(q2, db)

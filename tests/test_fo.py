@@ -1,0 +1,151 @@
+"""Tests for ∃FOᵏ syntax, evaluation, and the Lemma 5.2 translation."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.fo.evaluation import evaluate_formula, satisfies
+from repro.fo.from_decomposition import (
+    homomorphism_exists_by_fo,
+    structure_to_formula,
+)
+from repro.fo.syntax import (
+    AndF,
+    AtomF,
+    ExistsF,
+    OrF,
+    TrueF,
+    num_slots,
+)
+from repro.structures.graphs import clique, cycle, digraph_structure, path
+from repro.structures.homomorphism import homomorphism_exists
+from repro.structures.structure import Structure
+from repro.structures.vocabulary import Vocabulary
+from repro.treewidth.heuristics import decompose
+
+from conftest import structure_pairs
+
+
+class TestSyntax:
+    def test_free_slots_atom(self):
+        atom = AtomF("E", (0, 1))
+        assert atom.free_slots() == {0, 1}
+
+    def test_free_slots_exists(self):
+        formula = ExistsF(1, AtomF("E", (0, 1)))
+        assert formula.free_slots() == {0}
+
+    def test_free_slots_and_or(self):
+        formula = AndF((AtomF("E", (0, 1)), AtomF("E", (1, 2))))
+        assert formula.free_slots() == {0, 1, 2}
+        disjunction = OrF((AtomF("E", (0, 1)), AtomF("E", (2, 2))))
+        assert disjunction.free_slots() == {0, 1, 2}
+
+    def test_num_slots_counts_bound_too(self):
+        formula = ExistsF(1, AtomF("E", (0, 1)))
+        assert num_slots(formula) == 2
+
+    def test_negative_slot_rejected(self):
+        with pytest.raises(ValueError):
+            AtomF("E", (-1,))
+
+    def test_str_forms(self):
+        assert "E(x0, x1)" in str(AtomF("E", (0, 1)))
+        assert "∃x0" in str(ExistsF(0, TrueF()))
+
+
+class TestEvaluation:
+    def test_atom_evaluation(self):
+        g = digraph_structure(range(3), [(0, 1), (1, 2)])
+        result = evaluate_formula(AtomF("E", (0, 1)), g)
+        assert result.rows == {(0, 1), (1, 2)}
+
+    def test_atom_with_repeated_slots_selects_loops(self):
+        g = digraph_structure(range(2), [(0, 0), (0, 1)])
+        result = evaluate_formula(AtomF("E", (0, 0)), g)
+        assert result.rows == {(0,)}
+
+    def test_conjunction_is_join(self):
+        g = digraph_structure(range(4), [(0, 1), (1, 2), (2, 3)])
+        formula = AndF((AtomF("E", (0, 1)), AtomF("E", (1, 2))))
+        result = evaluate_formula(formula, g)
+        assert result.columns == (0, 1, 2)
+        assert (0, 1, 2) in result.rows and (1, 2, 3) in result.rows
+        assert len(result.rows) == 2
+
+    def test_exists_is_projection(self):
+        g = digraph_structure(range(3), [(0, 1), (1, 2)])
+        formula = ExistsF(1, AtomF("E", (0, 1)))
+        result = evaluate_formula(formula, g)
+        assert result.rows == {(0,), (1,)}
+
+    def test_disjunction_pads_over_domain(self):
+        g = digraph_structure(range(2), [(0, 1)])
+        formula = OrF((AtomF("E", (0, 1)), AtomF("E", (1, 0))))
+        result = evaluate_formula(formula, g)
+        assert result.columns == (0, 1)
+        assert result.rows == {(0, 1), (1, 0)}
+
+    def test_true_formula(self):
+        g = digraph_structure(range(2), [])
+        assert satisfies(g, TrueF())
+
+    def test_vacuous_exists_on_empty_domain(self):
+        empty = Structure(Vocabulary.from_arities({"E": 2}))
+        assert not satisfies(empty, ExistsF(0, TrueF()))
+
+    def test_variable_reuse_semantics(self):
+        # exists x1 (E(x0,x1) and exists x0 E(x1,x0)): a path of length 2
+        inner = ExistsF(0, AtomF("E", (1, 0)))
+        formula = ExistsF(1, AndF((AtomF("E", (0, 1)), inner)))
+        g = digraph_structure(range(3), [(0, 1), (1, 2)])
+        result = evaluate_formula(formula, g)
+        assert result.rows == {(0,)}
+        assert num_slots(formula) == 2
+
+
+class TestLemma52:
+    def test_slot_bound(self):
+        for structure in (path(6), cycle(6)):
+            decomposition = decompose(structure)
+            formula = structure_to_formula(structure, decomposition)
+            assert num_slots(formula) <= decomposition.width + 1
+
+    def test_path_needs_two_variables(self):
+        formula = structure_to_formula(path(8))
+        assert num_slots(formula) <= 2
+
+    def test_sentence_is_closed(self):
+        formula = structure_to_formula(cycle(4))
+        assert formula.free_slots() == frozenset()
+
+    def test_empty_structure(self):
+        empty = Structure(Vocabulary.from_arities({"E": 2}))
+        assert isinstance(structure_to_formula(empty), TrueF)
+
+    def test_two_coloring_decisions(self):
+        k2 = clique(2)
+        assert homomorphism_exists_by_fo(cycle(6), k2)
+        assert not homomorphism_exists_by_fo(cycle(5), k2)
+        assert homomorphism_exists_by_fo(cycle(5), clique(3))
+
+    def test_isolated_elements_require_nonempty_target(self):
+        lonely = Structure(Vocabulary.from_arities({"E": 2}), {0})
+        empty = Structure(Vocabulary.from_arities({"E": 2}))
+        assert homomorphism_exists_by_fo(lonely, clique(2))
+        assert not homomorphism_exists_by_fo(lonely, empty)
+
+    @given(structure_pairs(max_elements=4, max_facts=5))
+    @settings(max_examples=50, deadline=None)
+    def test_against_backtracking(self, pair):
+        a, b = pair
+        assert homomorphism_exists_by_fo(a, b) == homomorphism_exists(a, b)
+
+    @given(structure_pairs(max_elements=4, max_facts=4))
+    @settings(max_examples=30, deadline=None)
+    def test_agrees_with_treewidth_dp(self, pair):
+        from repro.treewidth.dp import homomorphism_exists_by_treewidth
+
+        a, b = pair
+        assert homomorphism_exists_by_fo(a, b) == (
+            homomorphism_exists_by_treewidth(a, b)
+        )

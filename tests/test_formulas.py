@@ -1,0 +1,166 @@
+"""Tests for defining-formula construction (Theorem 3.2)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.boolean.formulas import (
+    LinearEquation,
+    affine_defining_formula,
+    bijunctive_defining_formula,
+    clauses_define,
+    dual_horn_defining_formula,
+    equations_define,
+    horn_defining_formula,
+)
+from repro.boolean.relations import BooleanRelation
+from repro.exceptions import NotSchaeferError
+from repro.sat.cnf import clause_is_dual_horn, clause_is_horn
+
+from conftest import boolean_relations
+
+
+class TestBijunctive:
+    def test_k2_edge(self):
+        r = BooleanRelation(2, [(0, 1), (1, 0)])
+        clauses = bijunctive_defining_formula(r)
+        assert clauses_define(clauses, r)
+        assert all(len(c) <= 2 for c in clauses)
+
+    def test_not_bijunctive_rejected(self):
+        r = BooleanRelation(3, [(1, 0, 0), (0, 1, 0), (0, 0, 1)])
+        with pytest.raises(NotSchaeferError):
+            bijunctive_defining_formula(r)
+
+    def test_empty_relation(self):
+        r = BooleanRelation(2, [])
+        clauses = bijunctive_defining_formula(r)
+        assert clauses_define(clauses, r)
+
+    def test_full_relation_no_constraints(self):
+        r = BooleanRelation(
+            1, [(0,), (1,)]
+        )
+        clauses = bijunctive_defining_formula(r)
+        assert clauses_define(clauses, r)
+
+    @given(boolean_relations(max_arity=4, closure="bijunctive"))
+    @settings(max_examples=60, deadline=None)
+    def test_defines_exactly(self, r):
+        clauses = bijunctive_defining_formula(r)
+        assert clauses_define(clauses, r)
+        assert all(len(c) <= 2 for c in clauses)
+
+
+class TestHorn:
+    def test_implication_relation(self):
+        r = BooleanRelation(2, [(0, 0), (0, 1), (1, 1)])
+        clauses = horn_defining_formula(r)
+        assert clauses_define(clauses, r)
+        assert all(clause_is_horn(c) for c in clauses)
+
+    def test_not_horn_rejected(self):
+        r = BooleanRelation(2, [(0, 1), (1, 0)])
+        with pytest.raises(NotSchaeferError):
+            horn_defining_formula(r)
+
+    def test_singleton_relation(self):
+        r = BooleanRelation(3, [(1, 0, 1)])
+        clauses = horn_defining_formula(r)
+        assert clauses_define(clauses, r)
+
+    def test_empty_relation(self):
+        r = BooleanRelation(2, [])
+        clauses = horn_defining_formula(r)
+        assert clauses_define(clauses, r)
+
+    def test_needs_wide_body(self):
+        # all tuples except 1110: requires the clause p1&p2&p3 -> p4
+        tuples = [
+            t
+            for t in __import__("itertools").product((0, 1), repeat=4)
+            if t != (1, 1, 1, 0)
+        ]
+        r = BooleanRelation(4, tuples)
+        assert r.is_horn
+        clauses = horn_defining_formula(r)
+        assert clauses_define(clauses, r)
+
+    @given(boolean_relations(max_arity=4, closure="horn"))
+    @settings(max_examples=60, deadline=None)
+    def test_defines_exactly(self, r):
+        clauses = horn_defining_formula(r)
+        assert clauses_define(clauses, r)
+        assert all(clause_is_horn(c) for c in clauses)
+
+
+class TestDualHorn:
+    def test_simple(self):
+        r = BooleanRelation(2, [(0, 0), (0, 1), (1, 1)])
+        clauses = dual_horn_defining_formula(r)
+        assert clauses_define(clauses, r)
+        assert all(clause_is_dual_horn(c) for c in clauses)
+
+    def test_not_dual_horn_rejected(self):
+        r = BooleanRelation(2, [(0, 1), (1, 0)])
+        with pytest.raises(NotSchaeferError):
+            dual_horn_defining_formula(r)
+
+    @given(boolean_relations(max_arity=4, closure="dual_horn"))
+    @settings(max_examples=60, deadline=None)
+    def test_defines_exactly(self, r):
+        clauses = dual_horn_defining_formula(r)
+        assert clauses_define(clauses, r)
+        assert all(clause_is_dual_horn(c) for c in clauses)
+
+
+class TestAffine:
+    def test_xor_relation(self):
+        r = BooleanRelation(2, [(0, 1), (1, 0)])
+        equations = affine_defining_formula(r)
+        assert equations_define(equations, r)
+        # x + y = 1 is the only constraint
+        assert LinearEquation(frozenset({0, 1}), 1) in equations
+
+    def test_paper_c4_relation(self):
+        # Example 3.8: E' is affine, defined by x^y^z=0 and y^w=1
+        r = BooleanRelation(
+            4,
+            [(0, 0, 0, 1), (0, 1, 1, 0), (1, 0, 1, 1), (1, 1, 0, 0)],
+        )
+        assert r.is_affine
+        equations = affine_defining_formula(r)
+        assert equations_define(equations, r)
+
+    def test_not_affine_rejected(self):
+        r = BooleanRelation(2, [(0, 0), (0, 1), (1, 1)])
+        with pytest.raises(NotSchaeferError):
+            affine_defining_formula(r)
+
+    def test_empty_relation_contradictory_system(self):
+        r = BooleanRelation(2, [])
+        equations = affine_defining_formula(r)
+        assert equations_define(equations, r)
+
+    def test_equation_satisfied_by(self):
+        eq = LinearEquation(frozenset({0, 2}), 1)
+        assert eq.satisfied_by((1, 1, 0))
+        assert not eq.satisfied_by((1, 0, 1))
+
+    def test_equation_equality_and_repr(self):
+        a = LinearEquation(frozenset({0, 1}), 1)
+        b = LinearEquation(frozenset({1, 0}), 1)
+        assert a == b and hash(a) == hash(b)
+        assert "p0" in repr(a)
+
+    @given(boolean_relations(max_arity=4, closure="affine"))
+    @settings(max_examples=60, deadline=None)
+    def test_defines_exactly(self, r):
+        equations = affine_defining_formula(r)
+        assert equations_define(equations, r)
+
+    @given(boolean_relations(max_arity=4, closure="affine", allow_empty=False))
+    @settings(max_examples=40, deadline=None)
+    def test_basis_size_bound(self, r):
+        # Theorem 3.2: the basis has at most min(k+1, |R|) vectors
+        equations = affine_defining_formula(r)
+        assert len(equations) <= r.arity + 1

@@ -1,0 +1,89 @@
+"""Tests for Gaifman and incidence graphs (Section 5)."""
+
+import networkx as nx
+from hypothesis import given, settings
+
+from repro.structures.gaifman import (
+    gaifman_graph,
+    incidence_graph,
+    primal_edges,
+)
+from repro.structures.graphs import cycle, graph_structure
+from repro.structures.structure import Structure
+from repro.structures.vocabulary import Vocabulary
+
+from conftest import structures
+
+TERNARY = Vocabulary.from_arities({"T": 3})
+
+
+class TestGaifmanGraph:
+    def test_graph_structure_gaifman_is_itself(self):
+        c = cycle(4)
+        g = gaifman_graph(c)
+        assert set(g.nodes) == set(c.universe)
+        assert g.number_of_edges() == 4
+
+    def test_wide_tuple_becomes_clique(self):
+        # the paper's closing example: a single n-ary tuple has an n-clique
+        # as Gaifman graph (treewidth n-1)
+        s = Structure(TERNARY, (), {"T": {(0, 1, 2)}})
+        g = gaifman_graph(s)
+        assert g.number_of_edges() == 3  # triangle
+
+    def test_repeated_elements_no_self_loop(self):
+        s = Structure(TERNARY, (), {"T": {(0, 0, 1)}})
+        g = gaifman_graph(s)
+        assert not any(u == v for u, v in g.edges)
+        assert g.has_edge(0, 1)
+
+    def test_isolated_elements_kept_as_nodes(self):
+        s = Structure(TERNARY, {9}, {"T": {(0, 1, 2)}})
+        assert 9 in gaifman_graph(s).nodes
+
+    @given(structures())
+    @settings(max_examples=30, deadline=None)
+    def test_primal_edges_match_cooccurrence(self, s):
+        edges = primal_edges(s)
+        for edge in edges:
+            u, v = tuple(edge)
+            assert any(
+                u in fact and v in fact for _n, fact in s.facts()
+            )
+
+
+class TestIncidenceGraph:
+    def test_bipartite_structure(self):
+        s = Structure(TERNARY, (), {"T": {(0, 1, 2), (2, 2, 0)}})
+        g = incidence_graph(s)
+        element_nodes = [n for n in g.nodes if n[0] == "element"]
+        tuple_nodes = [n for n in g.nodes if n[0] == "tuple"]
+        assert len(element_nodes) == 3
+        assert len(tuple_nodes) == 2
+        assert nx.is_bipartite(g)
+
+    def test_single_wide_tuple_incidence_is_star(self):
+        # ... whose incidence graph is a tree (incidence treewidth 1),
+        # illustrating the Gaifman/incidence gap of Section 5.
+        s = Structure(
+            Vocabulary.from_arities({"T": 5}), (), {"T": {(0, 1, 2, 3, 4)}}
+        )
+        g = incidence_graph(s)
+        assert nx.is_tree(g)
+
+    def test_edges_link_tuples_to_their_elements(self):
+        s = Structure(TERNARY, (), {"T": {(0, 1, 1)}})
+        g = incidence_graph(s)
+        t = ("tuple", "T", (0, 1, 1))
+        assert g.has_edge(t, ("element", 0))
+        assert g.has_edge(t, ("element", 1))
+        assert g.degree(t) == 2  # repeated element counted once
+
+    @given(structures())
+    @settings(max_examples=25, deadline=None)
+    def test_incidence_node_counts(self, s):
+        g = incidence_graph(s)
+        elements = [n for n in g.nodes if n[0] == "element"]
+        tuples = [n for n in g.nodes if n[0] == "tuple"]
+        assert len(elements) == len(s)
+        assert len(tuples) == s.num_facts

@@ -1,0 +1,119 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.boolean.relations import boolean_relations_of
+from repro.csp.generators import (
+    bounded_treewidth_structure,
+    coloring_instance,
+    random_boolean_target,
+    random_chain_query,
+    random_k_tree,
+    random_query,
+    random_schaefer_target,
+    random_star_query,
+    random_structure,
+    random_two_atom_query,
+)
+from repro.structures.vocabulary import Vocabulary
+from repro.treewidth.decomposition import TreeDecomposition
+from repro.treewidth.exact import exact_treewidth
+
+BINARY = Vocabulary.from_arities({"R": 2})
+
+
+class TestRandomStructure:
+    def test_reproducible(self):
+        a = random_structure(BINARY, 5, 6, seed=42)
+        b = random_structure(BINARY, 5, 6, seed=42)
+        assert a == b
+
+    def test_elements_in_range(self):
+        s = random_structure(BINARY, 4, 10, seed=0)
+        assert s.universe == set(range(4))
+
+
+class TestBooleanTargets:
+    @pytest.mark.parametrize(
+        "closure,flag",
+        [
+            ("horn", "is_horn"),
+            ("dual_horn", "is_dual_horn"),
+            ("bijunctive", "is_bijunctive"),
+            ("affine", "is_affine"),
+        ],
+    )
+    def test_closure_guarantees_class(self, closure, flag):
+        for seed in range(10):
+            target = random_schaefer_target(
+                BINARY, 3, closure, seed=seed
+            )
+            relations = boolean_relations_of(target)
+            assert all(getattr(r, flag) for r in relations.values())
+
+    def test_no_closure_is_raw(self):
+        target = random_boolean_target(BINARY, 3, seed=7)
+        assert target.is_boolean
+
+
+class TestQueries:
+    def test_chain_query(self):
+        q = random_chain_query(4)
+        assert len(q) == 4
+        assert q.head_variables == ("X0", "X4")
+        with pytest.raises(ValueError):
+            random_chain_query(0)
+
+    def test_star_query(self):
+        q = random_star_query(3)
+        assert len(q) == 3
+        assert q.head_variables == ("C",)
+        with pytest.raises(ValueError):
+            random_star_query(0)
+
+    def test_random_query_shape(self):
+        q = random_query(5, 4, BINARY, head_width=2, seed=1)
+        assert q.arity == 2
+        assert all(atom.relation == "R" for atom in q.atoms)
+
+    def test_two_atom_query_class(self):
+        for seed in range(10):
+            q = random_two_atom_query(3, 4, seed=seed)
+            assert q.is_two_atom
+
+
+class TestKTrees:
+    def test_decomposition_is_valid_and_width_bounded(self):
+        for seed in range(8):
+            structure, bags, tree_edges = bounded_treewidth_structure(
+                10, 2, seed=seed
+            )
+            decomposition = TreeDecomposition(bags, tree_edges)
+            decomposition.validate(structure)
+            assert decomposition.width <= 2
+
+    def test_full_k_tree_has_exact_width(self):
+        edges, bags, tree_edges = random_k_tree(10, 2, seed=3)
+        from repro.structures.graphs import graph_structure
+
+        g = graph_structure(range(10), edges)
+        assert exact_treewidth(g) == 2
+
+    def test_too_few_vertices_rejected(self):
+        with pytest.raises(ValueError):
+            random_k_tree(2, 3)
+
+    def test_sparse_subgraph_width_still_bounded(self):
+        structure, bags, tree_edges = bounded_treewidth_structure(
+            12, 2, edge_keep_probability=0.5, seed=1
+        )
+        assert exact_treewidth(structure) <= 2
+
+
+class TestColoringInstance:
+    def test_shape(self):
+        from repro.structures.graphs import cycle
+
+        source, target = coloring_instance(cycle(5), 3)
+        assert len(target) == 3
+        assert source == cycle(5)

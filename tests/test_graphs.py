@@ -1,0 +1,124 @@
+"""Tests for graph↔structure conversions and the paper's stock graphs."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures.graphs import (
+    clique,
+    cycle,
+    digraph_structure,
+    directed_cycle,
+    graph_structure,
+    is_two_colorable,
+    path,
+    random_digraph,
+    random_graph,
+    to_networkx,
+)
+from repro.structures.homomorphism import homomorphism_exists
+
+
+class TestConstructors:
+    def test_graph_structure_symmetric(self):
+        g = graph_structure([0, 1], [(0, 1)])
+        assert g.holds("E", (0, 1)) and g.holds("E", (1, 0))
+
+    def test_digraph_structure_directed(self):
+        g = digraph_structure([0, 1], [(0, 1)])
+        assert g.holds("E", (0, 1)) and not g.holds("E", (1, 0))
+
+    def test_clique_edges(self):
+        k3 = clique(3)
+        assert len(k3) == 3 and k3.num_facts == 6
+
+    def test_clique_k1_has_no_edges(self):
+        assert clique(1).num_facts == 0
+
+    def test_path_structure(self):
+        p = path(4)
+        assert len(p) == 4 and p.num_facts == 6  # 3 symmetric edges
+
+    def test_single_vertex_path(self):
+        assert len(path(1)) == 1 and path(1).num_facts == 0
+
+    def test_cycle_structure(self):
+        c = cycle(5)
+        assert len(c) == 5 and c.num_facts == 10
+
+    def test_directed_cycle(self):
+        c = directed_cycle(4)
+        assert c.holds("E", (3, 0)) and not c.holds("E", (0, 3))
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            clique(0)
+        with pytest.raises(ValueError):
+            path(0)
+        with pytest.raises(ValueError):
+            cycle(2)
+        with pytest.raises(ValueError):
+            directed_cycle(0)
+
+
+class TestRandomGraphs:
+    def test_random_graph_seeded_reproducible(self):
+        assert random_graph(8, 0.4, seed=1) == random_graph(8, 0.4, seed=1)
+
+    def test_random_graph_density_extremes(self):
+        assert random_graph(5, 0.0, seed=1).num_facts == 0
+        full = random_graph(5, 1.0, seed=1)
+        assert full.num_facts == 5 * 4  # symmetric pairs
+
+    def test_random_digraph_no_self_loops(self):
+        g = random_digraph(6, 1.0, seed=3)
+        assert all(u != v for u, v in g.relation("E"))
+
+
+class TestColorabilitySemantics:
+    def test_kcoloring_is_hom_into_clique(self):
+        # Petersen graph is 3-chromatic
+        petersen = nx.petersen_graph()
+        g = graph_structure(petersen.nodes, petersen.edges)
+        assert not homomorphism_exists(g, clique(2))
+        assert homomorphism_exists(g, clique(3))
+
+    @given(st.integers(min_value=3, max_value=9))
+    @settings(deadline=None)
+    def test_cycle_two_colorability(self, n):
+        assert is_two_colorable(cycle(n)) == (n % 2 == 0)
+        assert homomorphism_exists(cycle(n), clique(2)) == (n % 2 == 0)
+
+    def test_self_loop_not_two_colorable(self):
+        g = digraph_structure([0], [(0, 0)])
+        assert not is_two_colorable(g)
+
+    def test_hom_to_c4_implies_two_colorable(self):
+        # One direction of the Example 3.8 aside: homomorphisms compose and
+        # C4 is 2-colorable, so G -> C4 forces G 2-colorable.  (The converse
+        # stated in the paper is loose for general digraphs: the directed
+        # 6-cycle is 2-colorable yet maps to the directed C4 only when its
+        # length is divisible by 4.)
+        for seed in range(10):
+            g = random_digraph(5, 0.3, seed=seed)
+            if homomorphism_exists(g, directed_cycle(4)):
+                assert is_two_colorable(g)
+
+    def test_directed_cycles_into_c4_mod_4(self):
+        c4 = directed_cycle(4)
+        for n in (4, 8, 12):
+            assert homomorphism_exists(directed_cycle(n), c4)
+        for n in (3, 5, 6, 7, 10):
+            assert not homomorphism_exists(directed_cycle(n), c4)
+
+
+class TestNetworkxRoundtrip:
+    def test_to_networkx_undirected(self):
+        g = to_networkx(cycle(4))
+        assert g.number_of_nodes() == 4 and g.number_of_edges() == 4
+
+    def test_to_networkx_directed(self):
+        g = to_networkx(directed_cycle(4), directed=True)
+        assert g.number_of_edges() == 4
+        assert g.has_edge(0, 1) and not g.has_edge(1, 0)

@@ -1,0 +1,199 @@
+"""Unit and property tests for the homomorphism engine."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.exceptions import VocabularyError
+from repro.structures.graphs import clique, cycle, path
+from repro.structures.homomorphism import (
+    SearchStats,
+    all_homomorphisms,
+    count_homomorphisms,
+    find_homomorphism,
+    homomorphism_exists,
+    image,
+    is_homomorphism,
+)
+from repro.structures.structure import Structure
+from repro.structures.vocabulary import Vocabulary
+
+from conftest import structure_pairs, structures
+
+GRAPH = Vocabulary.from_arities({"E": 2})
+
+
+class TestIsHomomorphism:
+    def test_identity_is_homomorphism(self):
+        c = cycle(4)
+        assert is_homomorphism({e: e for e in c.universe}, c, c)
+
+    def test_partial_map_rejected(self):
+        c = cycle(4)
+        assert not is_homomorphism({0: 0}, c, c)
+
+    def test_map_outside_target_rejected(self):
+        c = cycle(4)
+        mapping = {e: 99 for e in c.universe}
+        assert not is_homomorphism(mapping, c, c)
+
+    def test_edge_violation_detected(self):
+        c4, k2 = cycle(4), clique(2)
+        bad = {0: 0, 1: 0, 2: 1, 3: 1}  # edge (0,1) -> (0,0) not in K2
+        assert not is_homomorphism(bad, c4, k2)
+        good = {0: 0, 1: 1, 2: 0, 3: 1}
+        assert is_homomorphism(good, c4, k2)
+
+    def test_vocabulary_mismatch_raises(self):
+        other = Structure(Vocabulary.from_arities({"F": 2}))
+        with pytest.raises(VocabularyError):
+            is_homomorphism({}, cycle(3), other)
+
+
+class TestFindHomomorphism:
+    def test_even_cycle_two_colorable(self):
+        h = find_homomorphism(cycle(6), clique(2))
+        assert h is not None
+        assert is_homomorphism(h, cycle(6), clique(2))
+
+    def test_odd_cycle_not_two_colorable(self):
+        assert find_homomorphism(cycle(5), clique(2)) is None
+
+    def test_odd_cycle_three_colorable(self):
+        h = find_homomorphism(cycle(5), clique(3))
+        assert h is not None and is_homomorphism(h, cycle(5), clique(3))
+
+    def test_clique_into_smaller_clique_fails(self):
+        assert find_homomorphism(clique(4), clique(3)) is None
+
+    def test_path_into_edge(self):
+        h = find_homomorphism(path(7), clique(2))
+        assert h is not None
+
+    def test_empty_source_maps_trivially(self):
+        empty = Structure(GRAPH)
+        assert find_homomorphism(empty, cycle(3)) == {}
+
+    def test_nonempty_source_empty_target(self):
+        empty = Structure(GRAPH)
+        assert find_homomorphism(cycle(3), empty) is None
+
+    def test_empty_relation_in_target_blocks(self):
+        no_edges = Structure(GRAPH, range(3))
+        assert find_homomorphism(cycle(3), no_edges) is None
+        # but an edgeless source maps fine
+        lone = Structure(GRAPH, {0})
+        assert find_homomorphism(lone, no_edges) is not None
+
+    def test_fixed_pins_respected(self):
+        c4, k2 = cycle(4), clique(2)
+        h = find_homomorphism(c4, k2, fixed={0: 1})
+        assert h is not None and h[0] == 1
+
+    def test_fixed_pin_unsatisfiable(self):
+        # pin two adjacent vertices to the same color
+        h = find_homomorphism(cycle(4), clique(2), fixed={0: 0, 1: 0})
+        assert h is None
+
+    def test_fixed_pin_outside_target_returns_none(self):
+        assert find_homomorphism(cycle(4), clique(2), fixed={0: 9}) is None
+
+    def test_static_order_used(self):
+        c4, k2 = cycle(4), clique(2)
+        h = find_homomorphism(c4, k2, order=[3, 2, 1, 0])
+        assert h is not None and is_homomorphism(h, c4, k2)
+
+    def test_stats_collected(self):
+        stats = SearchStats()
+        find_homomorphism(cycle(5), clique(2), stats=stats)
+        assert stats.nodes > 0
+        assert "nodes" in repr(stats)
+
+
+class TestEnumeration:
+    def test_count_two_colorings_of_even_cycle(self):
+        # proper 2-colorings of C4 = 2
+        assert count_homomorphisms(cycle(4), clique(2)) == 2
+
+    def test_count_three_colorings_of_triangle(self):
+        # proper 3-colorings of K3 = 3! = 6
+        assert count_homomorphisms(clique(3), clique(3)) == 6
+
+    def test_all_homomorphisms_are_valid_and_distinct(self):
+        homs = list(all_homomorphisms(path(4), clique(2)))
+        assert len(homs) == len({tuple(sorted(h.items())) for h in homs})
+        for h in homs:
+            assert is_homomorphism(h, path(4), clique(2))
+
+    def test_exists_matches_find(self):
+        assert homomorphism_exists(cycle(4), clique(2))
+        assert not homomorphism_exists(cycle(5), clique(2))
+
+
+class TestImage:
+    def test_image_of_identity(self):
+        c = cycle(4)
+        assert image(c, {e: e for e in c.universe}) == c
+
+    def test_image_collapses(self):
+        c4, k2 = cycle(4), clique(2)
+        h = find_homomorphism(c4, k2)
+        img = image(c4, h)
+        assert img.universe <= {0, 1}
+        # there is always a hom onto the image
+        assert is_homomorphism(h, c4, img)
+
+
+class TestHomomorphismProperties:
+    @given(structure_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_found_maps_verify(self, pair):
+        a, b = pair
+        h = find_homomorphism(a, b)
+        if h is not None:
+            assert is_homomorphism(h, a, b)
+
+    @given(structure_pairs())
+    @settings(max_examples=40, deadline=None)
+    def test_composition_with_identity(self, pair):
+        a, b = pair
+        h = find_homomorphism(a, b)
+        if h is None:
+            return
+        # composing with the identity endomorphism of b stays a hom
+        identity = {e: e for e in b.universe}
+        composed = {x: identity[y] for x, y in h.items()}
+        assert is_homomorphism(composed, a, b)
+
+    @given(structures())
+    @settings(max_examples=40, deadline=None)
+    def test_reflexivity(self, a):
+        assert homomorphism_exists(a, a)
+
+    @given(structure_pairs())
+    @settings(max_examples=30, deadline=None)
+    def test_image_factorization(self, pair):
+        a, b = pair
+        h = find_homomorphism(a, b)
+        if h is None:
+            return
+        img = image(a, h)
+        # a -> image and image -> b (inclusion)
+        assert is_homomorphism(h, a, img)
+        inclusion = {e: e for e in img.universe}
+        assert is_homomorphism(inclusion, img, b)
+
+    @given(structure_pairs())
+    @settings(max_examples=30, deadline=None)
+    def test_enumeration_includes_found(self, pair):
+        a, b = pair
+        if len(a) > 3 or len(b) > 3:
+            return
+        h = find_homomorphism(a, b)
+        homs = [
+            tuple(sorted(m.items(), key=repr))
+            for m in all_homomorphisms(a, b)
+        ]
+        if h is None:
+            assert homs == []
+        else:
+            assert tuple(sorted(h.items(), key=repr)) in homs

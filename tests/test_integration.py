@@ -1,0 +1,153 @@
+"""Cross-module integration tests: every solver route must agree.
+
+These are the reproduction's strongest checks — for a single random
+instance, up to seven independently implemented deciders answer the same
+question:
+
+1. generic backtracking (structures.homomorphism),
+2. the treewidth DP (treewidth.dp),
+3. the ∃FO^{k+1} translation + evaluation (fo),
+4. Booleanization + the Schaefer formula-building route (boolean.uniform),
+5. Booleanization + a direct Theorem 3.4 algorithm when applicable,
+6. containment of canonical queries (cq.containment),
+7. the uniform dispatcher (core.solver).
+
+Plus the Section 4 stack: pebble game == k-consistency == ρ_B Datalog.
+"""
+
+from hypothesis import given, settings
+
+from repro.boolean.booleanize import booleanize
+from repro.boolean.schaefer import classify_structure, is_schaefer
+from repro.boolean.uniform import solve_schaefer_csp
+from repro.core.solver import solve
+from repro.cq.canonical import query_of_structure
+from repro.cq.containment import contains
+from repro.cq.evaluation import holds
+from repro.datalog.canonical_program import canonical_program
+from repro.datalog.evaluation import goal_holds
+from repro.fo.from_decomposition import homomorphism_exists_by_fo
+from repro.pebble.game import duplicator_wins
+from repro.pebble.kconsistency import strong_k_consistent
+from repro.structures.binary_encoding import binary_encoding
+from repro.structures.homomorphism import homomorphism_exists
+from repro.treewidth.dp import homomorphism_exists_by_treewidth
+
+from conftest import structure_pairs
+
+
+class TestAllRoutesAgree:
+    @given(structure_pairs(max_elements=3, max_facts=4))
+    @settings(max_examples=40, deadline=None)
+    def test_seven_deciders(self, pair):
+        a, b = pair
+        expected = homomorphism_exists(a, b)
+
+        assert homomorphism_exists_by_treewidth(a, b) == expected
+        assert homomorphism_exists_by_fo(a, b) == expected
+        assert solve(a, b).exists == expected
+
+        qb, qa = query_of_structure(b), query_of_structure(a)
+        assert contains(qb, qa) == expected
+        assert holds(qa, b) == expected
+
+        if b.universe:
+            bz = booleanize(a, b)
+            if is_schaefer(bz.target):
+                got = solve_schaefer_csp(bz.source, bz.target)
+                assert (got is not None) == expected
+
+    @given(structure_pairs(max_elements=3, max_facts=3))
+    @settings(max_examples=20, deadline=None)
+    def test_section4_stack(self, pair):
+        a, b = pair
+        if not b.universe:
+            return
+        k = 2
+        game = duplicator_wins(a, b, k)
+        tables = strong_k_consistent(a, b, k)
+        datalog = not goal_holds(canonical_program(b, k), a)
+        assert game == tables == datalog
+        # soundness: spoiler winning implies no hom
+        if not game:
+            assert not homomorphism_exists(a, b)
+
+    @given(structure_pairs(max_elements=3, max_facts=3))
+    @settings(max_examples=20, deadline=None)
+    def test_binary_encoding_route(self, pair):
+        a, b = pair
+        expected = homomorphism_exists(a, b)
+        if not expected:
+            return  # see Lemma 5.5 caveats in test_binary_encoding
+        assert homomorphism_exists(
+            binary_encoding(a), binary_encoding(b)
+        )
+
+
+class TestEndToEndScenarios:
+    def test_query_optimization_scenario(self):
+        """Parse a redundant query, minimize it, verify equivalence and
+        that evaluation agrees on a concrete database."""
+        from repro.cq.evaluation import evaluate
+        from repro.cq.minimize import minimize
+        from repro.cq.parser import parse_query
+        from repro.structures.graphs import random_digraph
+
+        q = parse_query(
+            "Q(X) :- E(X, Y), E(X, Z), E(Z, W), E(X, V)."
+        )
+        m = minimize(q)
+        assert len(m) < len(q)
+        for seed in range(4):
+            db = random_digraph(5, 0.4, seed=seed)
+            assert evaluate(q, db) == evaluate(m, db)
+
+    def test_view_equivalence_scenario(self):
+        """Two syntactically different view definitions are recognized
+        as equivalent."""
+        from repro.cq.containment import equivalent
+        from repro.cq.parser import parse_query
+
+        v1 = parse_query("V(X, Y) :- E(X, Z), E(Z, Y), E(X, W).")
+        v2 = parse_query("V(X, Y) :- E(X, U), E(U, Y).")
+        assert equivalent(v1, v2)
+
+    def test_scheduling_as_csp_solved_by_dispatcher(self):
+        """An AI-style scheduling CSP goes through the dispatcher."""
+        from repro.core.problem import HomomorphismProblem
+        from repro.csp.instance import Constraint, CSPInstance
+
+        # three tasks, two machines, tasks 0-1 and 1-2 conflict
+        conflict = frozenset({(0, 1), (1, 0)})
+        instance = CSPInstance(
+            ["t0", "t1", "t2"],
+            {t: {0, 1} for t in ("t0", "t1", "t2")},
+            [
+                Constraint(("t0", "t1"), conflict),
+                Constraint(("t1", "t2"), conflict),
+            ],
+        )
+        problem = HomomorphismProblem.from_csp(instance)
+        solution = solve(problem.source, problem.target)
+        assert solution.exists
+        assignment = {
+            v: solution.homomorphism[v] for v in instance.variables
+        }
+        assert instance.is_solution(assignment)
+
+    def test_coloring_pipeline_through_booleanization(self):
+        """2-coloring an even cycle via every Section 3 route."""
+        from repro.boolean.direct import solve_bijunctive_csp
+        from repro.structures.graphs import clique, cycle
+
+        a, b = cycle(8), clique(2)
+        bz = booleanize(a, b)
+        classes = classify_structure(bz.target)
+        assert classes  # K2 booleanizes into a Schaefer structure
+        direct = solve_bijunctive_csp(bz.source, bz.target)
+        formula_route = solve_schaefer_csp(bz.source, bz.target)
+        assert direct is not None and formula_route is not None
+        decoded = bz.decode_homomorphism(direct)
+        from repro.structures.homomorphism import is_homomorphism
+
+        assert is_homomorphism(decoded, a, b)

@@ -1,0 +1,93 @@
+"""Tests for serialization round-trips."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.cq.parser import parse_query
+from repro.datalog.program import parse_program
+from repro.exceptions import ParseError
+from repro.structures.graphs import cycle, directed_cycle
+from repro.structures.io import (
+    program_from_text,
+    program_to_text,
+    query_from_text,
+    query_to_text,
+    structure_from_dict,
+    structure_from_json,
+    structure_to_dict,
+    structure_to_json,
+)
+
+from conftest import structures
+
+
+class TestStructureRoundtrip:
+    def test_dict_roundtrip(self):
+        s = cycle(5)
+        assert structure_from_dict(structure_to_dict(s)) == s
+
+    def test_json_roundtrip(self):
+        s = directed_cycle(4)
+        assert structure_from_json(structure_to_json(s)) == s
+
+    def test_json_pretty(self):
+        text = structure_to_json(cycle(3), indent=2)
+        assert "\n" in text
+        assert structure_from_json(text) == cycle(3)
+
+    def test_isolated_elements_survive(self):
+        from repro.structures.structure import Structure
+
+        s = Structure(cycle(3).vocabulary, {0, 1, 2, 9},
+                      {"E": {(0, 1)}})
+        assert structure_from_dict(structure_to_dict(s)) == s
+
+    def test_empty_relations_survive(self):
+        from repro.structures.structure import Structure
+        from repro.structures.vocabulary import Vocabulary
+
+        s = Structure(Vocabulary.from_arities({"E": 2, "P": 1}), {0})
+        assert structure_from_dict(structure_to_dict(s)) == s
+
+    def test_malformed_dict_rejected(self):
+        with pytest.raises(ParseError):
+            structure_from_dict({"relations": {}})
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ParseError):
+            structure_from_json("{not json")
+
+    @given(structures())
+    @settings(max_examples=40, deadline=None)
+    def test_random_roundtrip(self, s):
+        assert structure_from_dict(structure_to_dict(s)) == s
+        assert structure_from_json(structure_to_json(s)) == s
+
+
+class TestQueryRoundtrip:
+    def test_text_roundtrip(self):
+        q = parse_query("Q(X1, X2) :- P(X1, Z1, Z2), R(Z2, X2).")
+        assert query_from_text(query_to_text(q)) == q
+
+    def test_boolean_query_roundtrip(self):
+        q = parse_query("Q :- E(X, Y).")
+        assert query_from_text(query_to_text(q)) == q
+
+
+class TestProgramRoundtrip:
+    PROGRAM = "T(X, Y) :- E(X, Y)\nT(X, Y) :- T(X, Z), E(Z, Y)"
+
+    def test_text_roundtrip_with_goal_comment(self):
+        program = parse_program(self.PROGRAM, goal="T")
+        text = program_to_text(program)
+        again = program_from_text(text)
+        assert again.goal == "T"
+        assert len(again) == len(program)
+
+    def test_explicit_goal_overrides(self):
+        program = program_from_text(self.PROGRAM, goal="T")
+        assert program.goal == "T"
+
+    def test_missing_goal_rejected(self):
+        with pytest.raises(ParseError):
+            program_from_text(self.PROGRAM)

@@ -1,0 +1,100 @@
+"""Tests for conjunctive-query minimization (cores of canonical databases)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cq.containment import equivalent
+from repro.cq.minimize import (
+    is_minimal,
+    minimize,
+    minimize_by_atom_removal,
+)
+from repro.cq.parser import parse_query
+from repro.cq.query import Atom, ConjunctiveQuery
+
+
+@st.composite
+def redundant_queries(draw):
+    variables = ["X", "Y", "Z", "W", "V"]
+    atoms = []
+    for _ in range(draw(st.integers(min_value=1, max_value=4))):
+        atoms.append(
+            Atom(
+                "E",
+                (
+                    draw(st.sampled_from(variables)),
+                    draw(st.sampled_from(variables)),
+                ),
+            )
+        )
+    return ConjunctiveQuery((draw(st.sampled_from(variables)),), atoms)
+
+
+class TestMinimize:
+    def test_redundant_branch_removed(self):
+        q = parse_query("Q(X) :- E(X, Y), E(X, Z).")
+        m = minimize(q)
+        assert len(m) == 1
+        assert equivalent(m, q)
+
+    def test_already_minimal_untouched(self):
+        q = parse_query("Q(X) :- E(X, Y), E(Y, X).")
+        assert len(minimize(q)) == 2
+
+    def test_triangle_with_redundant_path(self):
+        # a path folded into the triangle is redundant
+        q = parse_query(
+            "Q :- E(X, Y), E(Y, Z), E(Z, X), E(X, A), E(A, B)."
+        )
+        m = minimize(q)
+        assert len(m) == 3
+        assert equivalent(m, q)
+
+    def test_distinguished_variables_survive(self):
+        q = parse_query("Q(X, Y) :- E(X, Y), E(X, Z).")
+        m = minimize(q)
+        assert m.head_variables == ("X", "Y")
+        assert equivalent(m, q)
+
+    def test_head_pins_prevent_collapse(self):
+        # without head vars this collapses to one atom; with both
+        # endpoints distinguished it cannot
+        boolean = parse_query("Q :- E(X, Y), E(Z, W).")
+        assert len(minimize(boolean)) == 1
+        pinned = parse_query("Q(X, Y, Z, W) :- E(X, Y), E(Z, W).")
+        assert len(minimize(pinned)) == 2
+
+    def test_empty_body(self):
+        q = parse_query("Q(X) :- .")
+        assert len(minimize(q)) == 0
+
+
+class TestAgreementOfBothMinimizers:
+    @given(redundant_queries())
+    @settings(max_examples=40, deadline=None)
+    def test_same_size_and_equivalent(self, q):
+        by_core = minimize(q)
+        by_removal = minimize_by_atom_removal(q)
+        # minimal equivalent CQs are unique up to renaming => same size
+        assert len(by_core) == len(by_removal)
+        assert equivalent(by_core, q)
+        assert equivalent(by_removal, q)
+
+    @given(redundant_queries())
+    @settings(max_examples=30, deadline=None)
+    def test_idempotent(self, q):
+        m = minimize(q)
+        assert len(minimize(m)) == len(m)
+
+    @given(redundant_queries())
+    @settings(max_examples=30, deadline=None)
+    def test_result_is_minimal(self, q):
+        assert is_minimal(minimize_by_atom_removal(q))
+
+
+class TestIsMinimal:
+    def test_positive(self):
+        assert is_minimal(parse_query("Q(X) :- E(X, Y)."))
+
+    def test_negative(self):
+        assert not is_minimal(parse_query("Q(X) :- E(X, Y), E(X, Z)."))

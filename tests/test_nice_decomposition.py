@@ -1,0 +1,122 @@
+"""Tests for nice tree decompositions and the per-kind DP."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.exceptions import DecompositionError
+from repro.structures.graphs import clique, cycle, path
+from repro.structures.homomorphism import homomorphism_exists
+from repro.treewidth.decomposition import TreeDecomposition
+from repro.treewidth.heuristics import decompose
+from repro.treewidth.nice import (
+    NiceDecomposition,
+    NiceNode,
+    make_nice,
+    solve_by_nice_dp,
+)
+
+from conftest import structure_pairs
+
+
+class TestMakeNice:
+    def test_width_preserved(self):
+        for structure in (path(6), cycle(6), clique(4)):
+            decomposition = decompose(structure)
+            nice = make_nice(decomposition, structure)
+            assert nice.width == decomposition.width
+
+    def test_still_a_valid_decomposition(self):
+        structure = cycle(7)
+        nice = make_nice(decompose(structure), structure)
+        nice.to_tree_decomposition().validate(structure)
+
+    def test_node_kinds_wellformed(self):
+        nice = make_nice(decompose(cycle(5)), cycle(5))
+        kinds = {node.kind for node in nice.nodes}
+        assert "leaf" in kinds and "introduce" in kinds
+        # every non-root node is someone's child exactly once
+        seen = [c for node in nice.nodes for c in node.children]
+        assert len(seen) == len(set(seen)) == len(nice) - 1
+
+    def test_join_nodes_appear_for_branching_trees(self):
+        # a star has a branching decomposition after normalization
+        from repro.structures.graphs import graph_structure
+
+        star = graph_structure(
+            range(5), [(0, i) for i in range(1, 5)]
+        )
+        decomposition = decompose(star)
+        nice = make_nice(decomposition, star)
+        nice.to_tree_decomposition().validate(star)
+
+    def test_root_is_node_zero(self):
+        nice = make_nice(decompose(path(5)), path(5))
+        children = {c for node in nice.nodes for c in node.children}
+        assert 0 not in children
+
+
+class TestNiceValidation:
+    def test_bad_introduce_rejected(self):
+        with pytest.raises(DecompositionError):
+            NiceDecomposition(
+                [
+                    NiceNode("introduce", frozenset({1}), (1,), 2),
+                    NiceNode("leaf", frozenset(), ()),
+                ]
+            )
+
+    def test_bad_forget_rejected(self):
+        with pytest.raises(DecompositionError):
+            NiceDecomposition(
+                [
+                    NiceNode("forget", frozenset(), (1,), 5),
+                    NiceNode("leaf", frozenset(), ()),
+                ]
+            )
+
+    def test_bad_join_rejected(self):
+        with pytest.raises(DecompositionError):
+            NiceDecomposition(
+                [
+                    NiceNode("join", frozenset({1}), (1, 2)),
+                    NiceNode("leaf", frozenset(), ()),
+                    NiceNode("leaf", frozenset(), ()),
+                ]
+            )
+
+    def test_nonempty_leaf_rejected(self):
+        with pytest.raises(DecompositionError):
+            NiceDecomposition([NiceNode("leaf", frozenset({1}), ())])
+
+    def test_empty_decomposition_rejected(self):
+        with pytest.raises(DecompositionError):
+            NiceDecomposition([])
+
+
+class TestNiceDP:
+    def test_coloring_decisions(self):
+        assert solve_by_nice_dp(cycle(6), clique(2))
+        assert not solve_by_nice_dp(cycle(5), clique(2))
+        assert solve_by_nice_dp(cycle(5), clique(3))
+
+    def test_explicit_decomposition(self):
+        decomposition = TreeDecomposition(
+            [{0, 1}, {1, 2}, {2, 3}], [(0, 1), (1, 2)]
+        )
+        assert solve_by_nice_dp(path(4), clique(2), decomposition)
+
+    @given(structure_pairs(max_elements=4, max_facts=5))
+    @settings(max_examples=40, deadline=None)
+    def test_against_backtracking(self, pair):
+        a, b = pair
+        assert solve_by_nice_dp(a, b) == homomorphism_exists(a, b)
+
+    @given(structure_pairs(max_elements=4, max_facts=4))
+    @settings(max_examples=25, deadline=None)
+    def test_against_table_dp(self, pair):
+        from repro.treewidth.dp import homomorphism_exists_by_treewidth
+
+        a, b = pair
+        assert solve_by_nice_dp(a, b) == (
+            homomorphism_exists_by_treewidth(a, b)
+        )

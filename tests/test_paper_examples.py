@@ -1,0 +1,244 @@
+"""Golden tests: every worked example in the paper, verbatim.
+
+Each test cites the paper location it reproduces; together they are the
+"ground truth" anchor of the reproduction.
+"""
+
+from repro.boolean.booleanize import booleanize
+from repro.boolean.relations import BooleanRelation, boolean_relations_of
+from repro.boolean.schaefer import SchaeferClass, classify_relation
+from repro.cq.canonical import canonical_database
+from repro.cq.parser import parse_query
+from repro.datalog.program import parse_program
+from repro.datalog.evaluation import goal_holds
+from repro.structures.graphs import (
+    clique,
+    cycle,
+    directed_cycle,
+    graph_structure,
+    path,
+)
+from repro.structures.homomorphism import homomorphism_exists
+from repro.structures.structure import Structure
+from repro.structures.vocabulary import Vocabulary
+
+
+class TestSection2Example:
+    """The running query of Section 2."""
+
+    QUERY = "Q(X1, X2) :- P(X1, Z1, Z2), R(Z2, Z3), R(Z3, X2)."
+
+    def test_rule_form_parses(self):
+        q = parse_query(self.QUERY)
+        assert q.arity == 2
+        assert len(q) == 3
+
+    def test_alternative_head_order_is_different_query(self):
+        q1 = parse_query("Q(X1, X2) :- P(X1, Z1, Z2), R(Z2, Z3), R(Z3, X2).")
+        q2 = parse_query("Q(X2, X1) :- P(X1, Z1, Z2), R(Z2, Z3), R(Z3, X2).")
+        assert q1 != q2
+
+    def test_canonical_database_facts(self):
+        # "the canonical database consists of the facts P(X1, Z1, Z2),
+        #  R(Z2, Z3), R(Z3, X2), P1(X1), P2(X2)"
+        d = canonical_database(parse_query(self.QUERY))
+        assert d.num_facts == 5
+
+
+class TestCliqueAndPathNonUniformity:
+    """Section 2: CSP(K, G) is the clique problem; CSP(P, G) is
+    Hamiltonian path — nonuniform tractability does not uniformize."""
+
+    def test_clique_into_graph_is_clique_problem(self):
+        g = graph_structure(range(4), [(0, 1), (1, 2), (2, 0), (2, 3)])
+        assert homomorphism_exists(clique(3), g)      # triangle exists
+        assert not homomorphism_exists(clique(4), g)  # no 4-clique
+
+    def test_path_into_graph(self):
+        # a homomorphism from the path always exists when the graph has
+        # any edge (walks may repeat vertices)
+        g = graph_structure(range(3), [(0, 1)])
+        assert homomorphism_exists(path(5), g)
+
+
+class TestSchaeferPositiveOneInThree:
+    """Section 2: B = ({0,1}, {(1,0,0),(0,1,0),(0,0,1)}) is positive
+    one-in-three 3-SAT — NP-complete, hence in none of the six classes."""
+
+    def test_not_schaefer(self):
+        r = BooleanRelation(3, [(1, 0, 0), (0, 1, 0), (0, 0, 1)])
+        assert classify_relation(r) is SchaeferClass.NONE
+
+
+class TestExample37TwoColorability:
+    """Example 3.7: B' = ({0,1}, {(0,1),(1,0)}) is bijunctive (cardinality
+    2) and affine (solutions of x ⊕ y = 1)."""
+
+    def test_classification(self):
+        r = BooleanRelation(2, [(0, 1), (1, 0)])
+        classes = classify_relation(r)
+        assert classes & SchaeferClass.BIJUNCTIVE
+        assert classes & SchaeferClass.AFFINE
+        assert not classes & (
+            SchaeferClass.HORN
+            | SchaeferClass.DUAL_HORN
+            | SchaeferClass.ZERO_VALID
+            | SchaeferClass.ONE_VALID
+        )
+
+    def test_affine_equation_is_xor(self):
+        from repro.boolean.formulas import (
+            LinearEquation,
+            affine_defining_formula,
+        )
+
+        r = BooleanRelation(2, [(0, 1), (1, 0)])
+        equations = affine_defining_formula(r)
+        assert LinearEquation(frozenset({0, 1}), 1) in equations
+
+
+class TestExample38CSPofC4:
+    """Example 3.8, in full detail."""
+
+    FIRST_LABELING = {0: 0b00, 1: 0b01, 2: 0b10, 3: 0b11}
+    SECOND_LABELING = {0: 0b00, 1: 0b10, 2: 0b11, 3: 0b01}
+
+    def _booleanized_edge(self, labeling):
+        c4 = directed_cycle(4)
+        bz = booleanize(c4, c4, labeling)
+        return boolean_relations_of(bz.target)["E"]
+
+    def test_first_labeling_tuples_match_paper(self):
+        e = self._booleanized_edge(self.FIRST_LABELING)
+        assert e.tuples == {
+            (0, 0, 0, 1),
+            (0, 1, 1, 0),
+            (1, 0, 1, 1),
+            (1, 1, 0, 0),
+        }
+
+    def test_first_labeling_is_affine_only(self):
+        e = self._booleanized_edge(self.FIRST_LABELING)
+        classes = classify_relation(e)
+        assert classes == SchaeferClass.AFFINE
+
+    def test_paper_counterexamples_for_first_labeling(self):
+        # "the componentwise AND (resp. OR) of the first two tuples of E'
+        #  is (0,0,0,0) (resp. (0,1,1,1)), which is not in E'"
+        from repro.boolean.relations import tuple_and, tuple_majority, tuple_or
+
+        t1, t2, t3 = (0, 0, 0, 1), (0, 1, 1, 0), (1, 0, 1, 1)
+        e = self._booleanized_edge(self.FIRST_LABELING)
+        assert tuple_and(t1, t2) == (0, 0, 0, 0) and tuple_and(t1, t2) not in e
+        assert tuple_or(t1, t2) == (0, 1, 1, 1) and tuple_or(t1, t2) not in e
+        # "the componentwise majority of the first three tuples of E' is
+        #  (0,0,1,1), which is not in E'"
+        assert tuple_majority(t1, t2, t3) == (0, 0, 1, 1)
+        assert tuple_majority(t1, t2, t3) not in e
+
+    def test_first_labeling_defining_system_matches_paper(self):
+        # "E' is the set of solutions of (x^y^z) <-> false, (y^w) <-> true"
+        from repro.boolean.formulas import LinearEquation
+
+        e = self._booleanized_edge(self.FIRST_LABELING)
+        paper_system = [
+            LinearEquation(frozenset({0, 1, 2}), 0),
+            LinearEquation(frozenset({1, 3}), 1),
+        ]
+        from repro.boolean.formulas import equations_define
+
+        assert equations_define(paper_system, e)
+
+    def test_second_labeling_tuples_match_paper(self):
+        e = self._booleanized_edge(self.SECOND_LABELING)
+        assert e.tuples == {
+            (0, 0, 1, 0),
+            (1, 0, 1, 1),
+            (1, 1, 0, 1),
+            (0, 1, 0, 0),
+        }
+
+    def test_second_labeling_bijunctive_and_affine(self):
+        # the paper's "exercise for the reader"
+        e = self._booleanized_edge(self.SECOND_LABELING)
+        classes = classify_relation(e)
+        assert classes & SchaeferClass.BIJUNCTIVE
+        assert classes & SchaeferClass.AFFINE
+        assert not classes & SchaeferClass.HORN
+        assert not classes & SchaeferClass.DUAL_HORN
+
+    def test_csp_c4_polynomial_via_affine_route(self):
+        from repro.boolean.uniform import solve_schaefer_csp
+        from repro.structures.graphs import random_digraph
+
+        c4 = directed_cycle(4)
+        for seed in range(6):
+            g = random_digraph(5, 0.3, seed=seed)
+            bz = booleanize(g, c4, self.FIRST_LABELING)
+            got = solve_schaefer_csp(bz.source, bz.target)
+            assert (got is not None) == homomorphism_exists(g, c4)
+
+
+class TestSection41DatalogProgram:
+    """The 4-Datalog non-2-colorability program of Section 4.1."""
+
+    PROGRAM = """
+    P(X, Y) :- E(X, Y)
+    P(X, Y) :- P(X, Z), E(Z, W), E(W, Y)
+    Q() :- P(X, X)
+    """
+
+    def test_is_4_datalog(self):
+        program = parse_program(self.PROGRAM, goal="Q")
+        assert program.is_k_datalog(4)
+
+    def test_expresses_non_two_colorability(self):
+        program = parse_program(self.PROGRAM, goal="Q")
+        for n in range(3, 9):
+            assert goal_holds(program, cycle(n)) == (n % 2 == 1)
+
+    def test_agrees_with_homomorphism_into_k2(self):
+        from repro.structures.graphs import random_graph
+
+        program = parse_program(self.PROGRAM, goal="Q")
+        for seed in range(8):
+            g = random_graph(6, 0.35, seed=seed)
+            assert goal_holds(program, g) == (
+                not homomorphism_exists(g, clique(2))
+            )
+
+
+class TestSection5WideTupleExample:
+    """Section 5's closing example: a structure with one n-ary tuple has
+    Gaifman treewidth n−1 but incidence treewidth 1."""
+
+    def test_gap(self):
+        import networkx as nx
+
+        from repro.structures.gaifman import incidence_graph
+        from repro.treewidth.exact import exact_treewidth
+
+        s = Structure(
+            Vocabulary.from_arities({"T": 4}), (), {"T": {(0, 1, 2, 3)}}
+        )
+        assert exact_treewidth(s) == 3
+        assert nx.is_tree(incidence_graph(s))  # treewidth 1
+
+
+class TestRemark410HornExample:
+    """Remark 4.10.2: for a k-ary Horn Boolean structure B, the k-pebble
+    game decides CSP(·, B)."""
+
+    def test_horn_target_decided_by_game(self):
+        from repro.pebble.game import spoiler_wins
+
+        vocabulary = Vocabulary.from_arities({"R": 2})
+        horn_target = Structure(
+            vocabulary, {0, 1}, {"R": {(1, 1), (0, 0), (0, 1)}}
+        )
+        from repro.csp.generators import random_structure
+
+        for seed in range(8):
+            source = random_structure(vocabulary, 4, 5, seed=seed)
+            no_hom = not homomorphism_exists(source, horn_target)
+            assert spoiler_wins(source, horn_target, 2) == no_hom

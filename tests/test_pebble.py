@@ -1,0 +1,136 @@
+"""Tests for existential k-pebble games and strong k-consistency (Section 4)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.exceptions import VocabularyError
+from repro.pebble.game import (
+    duplicator_wins,
+    kconsistency_closure,
+    solve_pebble_game,
+    spoiler_wins,
+)
+from repro.pebble.kconsistency import (
+    consistency_tables,
+    strong_k_consistent,
+)
+from repro.structures.graphs import clique, cycle, path, random_graph
+from repro.structures.homomorphism import homomorphism_exists
+from repro.structures.structure import Structure
+from repro.structures.vocabulary import Vocabulary
+
+from conftest import structure_pairs
+
+
+class TestGameBasics:
+    def test_hom_implies_duplicator_wins(self):
+        # C6 -> K2, so the Duplicator wins at every k
+        for k in (1, 2, 3):
+            assert duplicator_wins(cycle(6), clique(2), k)
+
+    def test_spoiler_wins_on_odd_cycle_with_enough_pebbles(self):
+        # non-2-colorability is 4-Datalog expressible; k=3 suffices for
+        # the game to detect odd cycles
+        assert spoiler_wins(cycle(5), clique(2), 3)
+
+    def test_duplicator_survives_with_too_few_pebbles(self):
+        # with a single pebble the Spoiler learns nothing about edges
+        assert duplicator_wins(cycle(5), clique(2), 1)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            solve_pebble_game(cycle(3), clique(2), 0)
+
+    def test_vocabulary_mismatch(self):
+        other = Structure(Vocabulary.from_arities({"F": 2}))
+        with pytest.raises(VocabularyError):
+            solve_pebble_game(cycle(3), other, 2)
+
+    def test_empty_target_with_nonempty_source(self):
+        empty = Structure(cycle(3).vocabulary)
+        assert spoiler_wins(cycle(3), empty, 2)
+
+    def test_empty_source(self):
+        empty = Structure(cycle(3).vocabulary)
+        assert duplicator_wins(empty, cycle(3), 2)
+
+    def test_winning_from_configuration(self):
+        result = solve_pebble_game(cycle(4), clique(2), 2)
+        assert result.duplicator_wins
+        # configuration mapping adjacent vertices to the two colors is fine
+        assert result.winning_from(((0, 0), (1, 1)))
+        # mapping adjacent vertices to one color is immediately lost
+        assert not result.winning_from(((0, 0), (1, 0)))
+
+
+class TestGameVsHomomorphism:
+    @given(structure_pairs(max_elements=3, max_facts=4))
+    @settings(max_examples=40, deadline=None)
+    def test_hom_implies_duplicator_win(self, pair):
+        a, b = pair
+        if homomorphism_exists(a, b):
+            for k in (1, 2):
+                assert duplicator_wins(a, b, k)
+
+    @given(structure_pairs(max_elements=3, max_facts=4))
+    @settings(max_examples=30, deadline=None)
+    def test_spoiler_win_refutes_hom(self, pair):
+        a, b = pair
+        if spoiler_wins(a, b, 2):
+            assert not homomorphism_exists(a, b)
+
+    @given(structure_pairs(max_elements=3, max_facts=3))
+    @settings(max_examples=25, deadline=None)
+    def test_monotone_in_k(self, pair):
+        # more pebbles only help the Spoiler
+        a, b = pair
+        if spoiler_wins(a, b, 2):
+            assert spoiler_wins(a, b, 3)
+
+
+class TestTwoColorabilityDecided:
+    def test_k3_decides_two_colorability(self):
+        # cCSP(K2) is expressible in k-Datalog for small k, so the game
+        # decides it exactly (Theorem 4.8)
+        k2 = clique(2)
+        for seed in range(12):
+            g = random_graph(6, 0.4, seed=seed)
+            assert spoiler_wins(g, k2, 3) == (
+                not homomorphism_exists(g, k2)
+            )
+
+
+class TestKConsistency:
+    def test_tables_and_game_agree(self):
+        k2 = clique(2)
+        for seed in range(10):
+            g = random_graph(5, 0.5, seed=seed)
+            for k in (2, 3):
+                assert strong_k_consistent(g, k2, k) == duplicator_wins(
+                    g, k2, k
+                )
+
+    @given(structure_pairs(max_elements=3, max_facts=4))
+    @settings(max_examples=30, deadline=None)
+    def test_random_agreement(self, pair):
+        a, b = pair
+        assert strong_k_consistent(a, b, 2) == duplicator_wins(a, b, 2)
+
+    def test_tables_contain_restrictions_of_homs(self):
+        a, b = path(3), clique(2)
+        tables = consistency_tables(a, b, 2)
+        assert tables is not None
+        from repro.structures.homomorphism import all_homomorphisms
+
+        for hom in all_homomorphisms(a, b):
+            for domain, images in tables.items():
+                restricted = tuple(hom[e] for e in domain)
+                assert restricted in images
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            consistency_tables(cycle(3), clique(2), 0)
+
+    def test_closure_exposed(self):
+        family = kconsistency_closure(cycle(4), clique(2), 2)
+        assert frozenset() in family

@@ -1,0 +1,105 @@
+"""Tests for the polymorphism machinery (concluding-remarks direction)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.boolean.polymorphisms import (
+    AND,
+    CONSTANT_0,
+    CONSTANT_1,
+    MAJORITY,
+    MINORITY,
+    NOT,
+    OR,
+    Operation,
+    is_polymorphism,
+    polymorphisms,
+    projection,
+    schaefer_classes_from_polymorphisms,
+)
+from repro.boolean.relations import BooleanRelation
+from repro.boolean.schaefer import classify_relation
+
+from conftest import boolean_relations
+
+
+class TestOperation:
+    def test_named_operations(self):
+        assert AND(1, 1) == 1 and AND(1, 0) == 0
+        assert OR(0, 0) == 0 and OR(0, 1) == 1
+        assert MAJORITY(1, 1, 0) == 1 and MAJORITY(1, 0, 0) == 0
+        assert MINORITY(1, 1, 0) == 0 and MINORITY(1, 0, 0) == 1
+        assert CONSTANT_0(1) == 0 and CONSTANT_1(0) == 1
+        assert NOT(0) == 1
+
+    def test_wrong_arity_call(self):
+        with pytest.raises(ValueError):
+            AND(1)
+
+    def test_bad_table_size(self):
+        with pytest.raises(ValueError):
+            Operation("broken", 2, (0, 1))
+
+    def test_projection(self):
+        p = projection(3, 1)
+        assert p(0, 1, 0) == 1
+        with pytest.raises(ValueError):
+            projection(2, 5)
+
+    def test_apply_to_tuples(self):
+        assert AND.apply_to_tuples(((1, 0, 1), (1, 1, 0))) == (1, 0, 0)
+
+    def test_equality_by_table(self):
+        again = Operation.from_function("and2", 2, lambda x, y: x & y)
+        assert again == AND
+        assert hash(again) == hash(AND)
+
+
+class TestIsPolymorphism:
+    def test_projections_always_preserve(self):
+        r = BooleanRelation(3, [(1, 0, 0), (0, 1, 0), (0, 0, 1)])
+        for i in range(2):
+            assert is_polymorphism(projection(2, i), r)
+
+    def test_and_preserves_horn(self):
+        horn = BooleanRelation(2, [(0, 0), (0, 1), (1, 1)])
+        assert is_polymorphism(AND, horn)
+
+    def test_and_fails_on_xor(self):
+        xor = BooleanRelation(2, [(0, 1), (1, 0)])
+        assert not is_polymorphism(AND, xor)
+        assert is_polymorphism(MINORITY, xor)
+        assert is_polymorphism(MAJORITY, xor)
+        assert is_polymorphism(NOT, xor)
+
+    def test_empty_relation_preserved_by_everything(self):
+        empty = BooleanRelation(2, [])
+        for op in (AND, OR, MAJORITY, MINORITY, CONSTANT_0, NOT):
+            assert is_polymorphism(op, empty)
+
+
+class TestEnumeration:
+    def test_unary_polymorphisms_of_full_relation(self):
+        full = BooleanRelation(1, [(0,), (1,)])
+        ops = list(polymorphisms([full], 1))
+        assert len(ops) == 4  # all unary operations
+
+    def test_unary_polymorphisms_of_xor(self):
+        xor = BooleanRelation(2, [(0, 1), (1, 0)])
+        ops = set(polymorphisms([xor], 1))
+        # identity and NOT preserve it; constants do not
+        assert projection(1, 0) in ops
+        assert NOT in ops
+        assert CONSTANT_0 not in ops and CONSTANT_1 not in ops
+
+    def test_one_in_three_has_only_projections_binary(self):
+        r = BooleanRelation(3, [(1, 0, 0), (0, 1, 0), (0, 0, 1)])
+        ops = set(polymorphisms([r], 2))
+        assert ops == {projection(2, 0), projection(2, 1)}
+
+
+class TestSchaeferViaPolymorphisms:
+    @given(boolean_relations(max_arity=3))
+    @settings(max_examples=60, deadline=None)
+    def test_agrees_with_direct_recognizer(self, r):
+        assert schaefer_classes_from_polymorphisms(r) == classify_relation(r)

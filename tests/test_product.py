@@ -1,0 +1,142 @@
+"""Tests for disjoint unions, direct products, and cores."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.exceptions import VocabularyError
+from repro.structures.graphs import clique, cycle, graph_structure, path
+from repro.structures.homomorphism import (
+    homomorphism_exists,
+    is_homomorphism,
+)
+from repro.structures.product import (
+    core,
+    direct_product,
+    disjoint_union,
+    is_core,
+    power,
+    retract_onto,
+)
+from repro.structures.structure import Structure
+from repro.structures.vocabulary import Vocabulary
+
+from conftest import structure_pairs
+
+GRAPH = Vocabulary.from_arities({"E": 2})
+
+
+class TestDisjointUnion:
+    def test_universe_is_tagged_union(self):
+        u = disjoint_union(cycle(3), cycle(4))
+        assert len(u) == 7
+        assert (0, 0) in u.universe and (1, 0) in u.universe
+
+    def test_coproduct_property(self):
+        k3 = clique(3)
+        u = disjoint_union(cycle(3), cycle(4))
+        # both parts 3-colorable -> union 3-colorable
+        assert homomorphism_exists(u, k3)
+        # odd part not 2-colorable -> union not 2-colorable
+        assert not homomorphism_exists(u, clique(2))
+
+    def test_vocabulary_mismatch(self):
+        other = Structure(Vocabulary.from_arities({"F": 2}))
+        with pytest.raises(VocabularyError):
+            disjoint_union(cycle(3), other)
+
+
+class TestDirectProduct:
+    def test_universe_is_cartesian(self):
+        p = direct_product(cycle(3), cycle(4))
+        assert len(p) == 12
+
+    def test_projections_are_homomorphisms(self):
+        a, b = cycle(3), clique(3)
+        p = direct_product(a, b)
+        left = {pair: pair[0] for pair in p.universe}
+        right = {pair: pair[1] for pair in p.universe}
+        assert is_homomorphism(left, p, a)
+        assert is_homomorphism(right, p, b)
+
+    def test_categorical_product_property(self):
+        # C6 -> K2 and C6 -> K3, so C6 -> K2 x K3
+        c6 = cycle(6)
+        p = direct_product(clique(2), clique(3))
+        assert homomorphism_exists(c6, p)
+        # C5 does not map to K2, so it cannot map to K2 x K3 either
+        assert not homomorphism_exists(cycle(5), p)
+
+    @given(structure_pairs(max_elements=3, max_facts=3))
+    @settings(max_examples=25, deadline=None)
+    def test_product_characterization(self, pair):
+        a, b = pair
+        p = direct_product(a, b)
+        small = path(2)
+        small = small.with_vocabulary(small.vocabulary)
+        # use a as the test object: a -> p iff a -> a and a -> b
+        maps_to_product = homomorphism_exists(a, p)
+        assert maps_to_product == (
+            homomorphism_exists(a, a) and homomorphism_exists(a, b)
+        )
+
+    def test_power(self):
+        squared = power(clique(2), 2)
+        assert len(squared) == 4
+        with pytest.raises(ValueError):
+            power(clique(2), 0)
+
+
+class TestRetraction:
+    def test_retract_even_cycle_onto_edge(self):
+        c4 = cycle(4)
+        retraction = retract_onto(c4, {0, 1})
+        assert retraction is not None
+        assert retraction[0] == 0 and retraction[1] == 1
+        assert set(retraction.values()) <= {0, 1}
+
+    def test_no_retraction_of_odd_cycle_onto_edge(self):
+        assert retract_onto(cycle(5), {0, 1}) is None
+
+    def test_retraction_is_homomorphism(self):
+        c4 = cycle(4)
+        retraction = retract_onto(c4, {0, 1})
+        assert is_homomorphism(retraction, c4, c4.restrict({0, 1}))
+
+
+class TestCore:
+    def test_core_of_even_cycle_is_edge(self):
+        c = core(cycle(6))
+        assert len(c) == 2
+        assert c.num_facts == 2  # one symmetric edge
+
+    def test_core_of_odd_cycle_is_itself(self):
+        c = core(cycle(5))
+        assert len(c) == 5
+
+    def test_core_of_clique_is_itself(self):
+        assert len(core(clique(3))) == 3
+
+    def test_cliques_and_odd_cycles_are_cores(self):
+        assert is_core(clique(3))
+        assert is_core(cycle(5))
+        assert not is_core(cycle(6))
+        assert not is_core(path(3))
+
+    def test_core_is_core(self):
+        g = graph_structure(
+            range(6), [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]
+        )
+        c = core(g)
+        assert is_core(c)
+
+    def test_core_homomorphically_equivalent(self):
+        g = cycle(6)
+        c = core(g)
+        assert homomorphism_exists(g, c)
+        assert homomorphism_exists(c, g)
+
+    def test_core_of_disjoint_union_with_dominated_part(self):
+        # C4 + K2: the K2 absorbs the whole thing
+        u = disjoint_union(cycle(4), clique(2))
+        c = core(u)
+        assert len(c) == 2

@@ -1,0 +1,91 @@
+"""Tests for Saraiya's two-atom containment (Proposition 3.6)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cq.containment import contains
+from repro.cq.parser import parse_query
+from repro.cq.query import Atom, ConjunctiveQuery
+from repro.cq.saraiya import is_two_atom_instance, two_atom_contains
+from repro.csp.generators import random_two_atom_query
+from repro.exceptions import NotSchaeferError
+
+
+@st.composite
+def two_atom_queries(draw):
+    variables = ["X", "Y", "Z", "W"]
+    atoms = []
+    for name in ("E", "F"):
+        for _ in range(draw(st.integers(min_value=0, max_value=2))):
+            atoms.append(
+                Atom(
+                    name,
+                    (
+                        draw(st.sampled_from(variables)),
+                        draw(st.sampled_from(variables)),
+                    ),
+                )
+            )
+    if not atoms:
+        atoms.append(Atom("E", ("X", "Y")))
+    return ConjunctiveQuery((draw(st.sampled_from(variables)),), atoms)
+
+
+@st.composite
+def any_queries(draw):
+    variables = ["X", "Y", "Z", "W"]
+    atoms = [
+        Atom(
+            draw(st.sampled_from(["E", "F"])),
+            (
+                draw(st.sampled_from(variables)),
+                draw(st.sampled_from(variables)),
+            ),
+        )
+        for _ in range(draw(st.integers(min_value=1, max_value=4)))
+    ]
+    return ConjunctiveQuery((draw(st.sampled_from(variables)),), atoms)
+
+
+class TestRecognizer:
+    def test_two_atom_accepted(self):
+        q = parse_query("Q(X) :- E(X, Y), E(Y, Z), F(Z, X).")
+        assert is_two_atom_instance(q)
+
+    def test_three_occurrences_rejected(self):
+        q = parse_query("Q(X) :- E(X, Y), E(Y, Z), E(Z, X).")
+        assert not is_two_atom_instance(q)
+        other = parse_query("Q(X) :- E(X, Y).")
+        with pytest.raises(NotSchaeferError):
+            two_atom_contains(q, other)
+
+    def test_generator_respects_class(self):
+        for seed in range(10):
+            q = random_two_atom_query(3, 5, seed=seed)
+            assert q.is_two_atom
+
+
+class TestAgainstGeneralContainment:
+    def test_positive_case(self):
+        q1 = parse_query("Q(X) :- E(X, Y), E(Y, Z).")
+        q2 = parse_query("Q(X) :- E(X, Y).")
+        assert two_atom_contains(q1, q2) is True
+        assert two_atom_contains(q2, q1) is False
+
+    def test_restriction_is_on_q1_only(self):
+        q1 = parse_query("Q(X) :- E(X, Y).")
+        # q2 may use a predicate arbitrarily often
+        q2 = parse_query("Q(X) :- E(X, Y), E(Y, Z), E(Z, W).")
+        assert two_atom_contains(q1, q2) == contains(q1, q2)
+
+    @given(two_atom_queries(), any_queries())
+    @settings(max_examples=60, deadline=None)
+    def test_agreement_random(self, q1, q2):
+        assert two_atom_contains(q1, q2) == contains(q1, q2)
+
+    def test_agreement_on_generated_workload(self):
+        for seed in range(15):
+            q1 = random_two_atom_query(2, 4, seed=seed)
+            q2 = random_two_atom_query(2, 4, seed=seed + 1000)
+            assert two_atom_contains(q1, q2) == contains(q1, q2)

@@ -1,0 +1,290 @@
+"""Cross-checked tests for the Horn, 2-SAT, affine, and DPLL solvers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat.affine import LinearSystemGF2, nullspace_basis, solve_gf2
+from repro.sat.cnf import CNF
+from repro.sat.dpll import solve_dpll
+from repro.sat.horn import horn_minimal_model, solve_dual_horn, solve_horn
+from repro.sat.two_sat import solve_2sat, solve_2sat_phases
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+@st.composite
+def horn_cnf(draw, max_vars=6, max_clauses=10):
+    n = draw(st.integers(min_value=1, max_value=max_vars))
+    clauses = []
+    for _ in range(draw(st.integers(min_value=0, max_value=max_clauses))):
+        body = draw(
+            st.sets(st.integers(min_value=1, max_value=n), max_size=3)
+        )
+        head = draw(
+            st.one_of(st.none(), st.integers(min_value=1, max_value=n))
+        )
+        clause = tuple(-v for v in sorted(body))
+        if head is not None:
+            clause += (head,)
+        if clause:
+            clauses.append(clause)
+    return CNF(n, clauses)
+
+
+@st.composite
+def two_cnf(draw, max_vars=6, max_clauses=12):
+    n = draw(st.integers(min_value=1, max_value=max_vars))
+    clauses = []
+    for _ in range(draw(st.integers(min_value=0, max_value=max_clauses))):
+        length = draw(st.integers(min_value=1, max_value=2))
+        clause = tuple(
+            draw(st.integers(min_value=1, max_value=n))
+            * draw(st.sampled_from([1, -1]))
+            for _ in range(length)
+        )
+        clauses.append(clause)
+    return CNF(n, clauses)
+
+
+@st.composite
+def general_cnf(draw, max_vars=5, max_clauses=10):
+    n = draw(st.integers(min_value=1, max_value=max_vars))
+    clauses = []
+    for _ in range(draw(st.integers(min_value=0, max_value=max_clauses))):
+        length = draw(st.integers(min_value=1, max_value=3))
+        clause = tuple(
+            draw(st.integers(min_value=1, max_value=n))
+            * draw(st.sampled_from([1, -1]))
+            for _ in range(length)
+        )
+        clauses.append(clause)
+    return CNF(n, clauses)
+
+
+# ---------------------------------------------------------------------------
+# Horn
+# ---------------------------------------------------------------------------
+
+class TestHorn:
+    def test_simple_implication_chain(self):
+        # 1, 1->2, 2->3
+        formula = CNF(3, [(1,), (-1, 2), (-2, 3)])
+        assert horn_minimal_model(formula) == {1, 2, 3}
+
+    def test_contradiction(self):
+        formula = CNF(2, [(1,), (-1,)])
+        assert solve_horn(formula) is None
+
+    def test_empty_clause(self):
+        assert solve_horn(CNF(1, [()])) is None
+
+    def test_minimal_model_is_minimal(self):
+        # nothing forced -> all false
+        formula = CNF(3, [(-1, 2)])
+        assert horn_minimal_model(formula) == set()
+
+    def test_non_horn_rejected(self):
+        with pytest.raises(ValueError):
+            solve_horn(CNF(2, [(1, 2)]))
+
+    @given(horn_cnf())
+    @settings(max_examples=80, deadline=None)
+    def test_against_bruteforce(self, formula):
+        model = solve_horn(formula)
+        assert (model is not None) == formula.is_satisfiable_bruteforce()
+        if model is not None:
+            assert formula.evaluate(model)
+
+    @given(horn_cnf())
+    @settings(max_examples=40, deadline=None)
+    def test_minimal_model_below_every_model(self, formula):
+        minimal = horn_minimal_model(formula)
+        if minimal is None:
+            return
+        for model in formula.all_models():
+            trues = {v for v, value in model.items() if value}
+            assert minimal <= trues
+
+
+class TestDualHorn:
+    def test_simple(self):
+        formula = CNF(2, [(1, -2), (2,)])
+        model = solve_dual_horn(formula)
+        assert model is not None and formula.evaluate(model)
+
+    def test_non_dual_horn_rejected(self):
+        with pytest.raises(ValueError):
+            solve_dual_horn(CNF(2, [(-1, -2)]))
+
+    @given(horn_cnf())
+    @settings(max_examples=60, deadline=None)
+    def test_against_bruteforce_via_flip(self, formula):
+        flipped = CNF(
+            formula.num_vars,
+            [tuple(-lit for lit in c) for c in formula.clauses],
+        )
+        model = solve_dual_horn(flipped)
+        assert (model is not None) == flipped.is_satisfiable_bruteforce()
+        if model is not None:
+            assert flipped.evaluate(model)
+
+
+# ---------------------------------------------------------------------------
+# 2-SAT
+# ---------------------------------------------------------------------------
+
+class Test2SAT:
+    def test_satisfiable_chain(self):
+        formula = CNF(3, [(1, 2), (-2, 3), (-1, -3)])
+        for solver in (solve_2sat, solve_2sat_phases):
+            model = solver(formula)
+            assert model is not None and formula.evaluate(model)
+
+    def test_classic_unsat(self):
+        formula = CNF(2, [(1, 2), (1, -2), (-1, 2), (-1, -2)])
+        assert solve_2sat(formula) is None
+        assert solve_2sat_phases(formula) is None
+
+    def test_unit_clauses(self):
+        formula = CNF(2, [(1,), (-1, 2)])
+        model = solve_2sat(formula)
+        assert model == {1: True, 2: True}
+        assert solve_2sat_phases(formula) == {1: True, 2: True}
+
+    def test_empty_clause(self):
+        assert solve_2sat(CNF(1, [()])) is None
+        assert solve_2sat_phases(CNF(1, [()])) is None
+
+    def test_wide_clause_rejected(self):
+        with pytest.raises(ValueError):
+            solve_2sat(CNF(3, [(1, 2, 3)]))
+        with pytest.raises(ValueError):
+            solve_2sat_phases(CNF(3, [(1, 2, 3)]))
+
+    @given(two_cnf())
+    @settings(max_examples=100, deadline=None)
+    def test_both_against_bruteforce(self, formula):
+        expected = formula.is_satisfiable_bruteforce()
+        for solver in (solve_2sat, solve_2sat_phases):
+            model = solver(formula)
+            assert (model is not None) == expected
+            if model is not None:
+                assert formula.evaluate(model)
+
+
+# ---------------------------------------------------------------------------
+# GF(2)
+# ---------------------------------------------------------------------------
+
+class TestGF2:
+    def test_single_equation(self):
+        system = LinearSystemGF2(2)
+        system.add_equation([0, 1], 1)
+        solution = solve_gf2(system)
+        assert solution is not None
+        assert (solution[0] + solution[1]) % 2 == 1
+
+    def test_inconsistent(self):
+        system = LinearSystemGF2(1)
+        system.add_equation([0], 0)
+        system.add_equation([0], 1)
+        assert solve_gf2(system) is None
+
+    def test_zero_equals_one_inconsistent(self):
+        system = LinearSystemGF2(1)
+        system.add_equation([], 1)
+        assert solve_gf2(system) is None
+
+    def test_repeated_variables_cancel(self):
+        system = LinearSystemGF2(1)
+        system.add_equation([0, 0], 1)  # x ^ x = 1 is 0 = 1
+        assert solve_gf2(system) is None
+
+    def test_out_of_range_variable(self):
+        system = LinearSystemGF2(1)
+        with pytest.raises(ValueError):
+            system.add_equation([5], 0)
+
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_random_systems_against_bruteforce(self, data):
+        n = data.draw(st.integers(min_value=1, max_value=5))
+        system = LinearSystemGF2(n)
+        for _ in range(data.draw(st.integers(min_value=0, max_value=6))):
+            variables = data.draw(
+                st.sets(st.integers(min_value=0, max_value=n - 1), max_size=n)
+            )
+            system.add_equation(variables, data.draw(st.integers(0, 1)))
+        solution = solve_gf2(system)
+        bruteforce = any(
+            system.evaluate(
+                [(mask >> i) & 1 for i in range(n)]
+            )
+            for mask in range(1 << n)
+        )
+        assert (solution is not None) == bruteforce
+        if solution is not None:
+            assert system.evaluate(solution)
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_nullspace_vectors_annihilate_rows(self, data):
+        n = data.draw(st.integers(min_value=1, max_value=6))
+        rows = [
+            data.draw(st.integers(min_value=0, max_value=(1 << n) - 1))
+            for _ in range(data.draw(st.integers(min_value=0, max_value=5)))
+        ]
+        basis = nullspace_basis(rows, n)
+        for vector in basis:
+            for row in rows:
+                assert bin(row & vector).count("1") % 2 == 0
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_nullspace_dimension(self, data):
+        n = data.draw(st.integers(min_value=1, max_value=5))
+        rows = [
+            data.draw(st.integers(min_value=0, max_value=(1 << n) - 1))
+            for _ in range(data.draw(st.integers(min_value=0, max_value=5)))
+        ]
+        basis = nullspace_basis(rows, n)
+        # rank-nullity: |basis| = n - rank(rows)
+        rank = 0
+        pivots = {}
+        for row in rows:
+            for bit, prow in pivots.items():
+                if row & (1 << bit):
+                    row ^= prow
+            if row:
+                pivots[row.bit_length() - 1] = row
+                rank += 1
+        assert len(basis) == n - rank
+
+
+# ---------------------------------------------------------------------------
+# DPLL
+# ---------------------------------------------------------------------------
+
+class TestDPLL:
+    def test_simple_sat(self):
+        formula = CNF(3, [(1, 2, 3), (-1, -2), (-3,)])
+        model = solve_dpll(formula)
+        assert model is not None and formula.evaluate(model)
+
+    def test_simple_unsat(self):
+        formula = CNF(1, [(1,), (-1,)])
+        assert solve_dpll(formula) is None
+
+    def test_empty_clause(self):
+        assert solve_dpll(CNF(1, [()])) is None
+
+    @given(general_cnf())
+    @settings(max_examples=80, deadline=None)
+    def test_against_bruteforce(self, formula):
+        model = solve_dpll(formula)
+        assert (model is not None) == formula.is_satisfiable_bruteforce()
+        if model is not None:
+            assert formula.evaluate(model)

@@ -1,0 +1,169 @@
+"""Tests for Schaefer classification (Theorem 3.1)."""
+
+from itertools import product
+
+from hypothesis import given, settings
+
+from repro.boolean.relations import BooleanRelation
+from repro.boolean.schaefer import (
+    NONTRIVIAL_CLASSES,
+    SchaeferClass,
+    classify_relation,
+    classify_structure,
+    is_schaefer,
+    nontrivial_classes,
+)
+from repro.structures.structure import Structure
+from repro.structures.vocabulary import Vocabulary
+
+from conftest import boolean_relations, boolean_structures
+
+
+def brute_force_definability(relation, kind: str) -> bool:
+    """Exponential oracle: does some formula of the kind define R?
+
+    Uses the closure characterizations' *semantic* side: enumerate all
+    formulas is infeasible, so instead verify against the known-correct
+    closure conditions computed naively here, independently of the
+    library code under test.
+    """
+    tuples = list(relation.tuples)
+    if kind == "horn":
+        return all(
+            tuple(x & y for x, y in zip(a, b)) in relation.tuples
+            for a in tuples
+            for b in tuples
+        )
+    if kind == "dual_horn":
+        return all(
+            tuple(x | y for x, y in zip(a, b)) in relation.tuples
+            for a in tuples
+            for b in tuples
+        )
+    if kind == "bijunctive":
+        return all(
+            tuple(
+                1 if x + y + z >= 2 else 0 for x, y, z in zip(a, b, c)
+            )
+            in relation.tuples
+            for a in tuples
+            for b in tuples
+            for c in tuples
+        )
+    if kind == "affine":
+        return all(
+            tuple((x + y + z) % 2 for x, y, z in zip(a, b, c))
+            in relation.tuples
+            for a in tuples
+            for b in tuples
+            for c in tuples
+        )
+    raise ValueError(kind)
+
+
+class TestClassifyRelation:
+    def test_zero_one_valid(self):
+        r = BooleanRelation(2, [(0, 0), (1, 1)])
+        classes = classify_relation(r)
+        assert classes & SchaeferClass.ZERO_VALID
+        assert classes & SchaeferClass.ONE_VALID
+
+    def test_one_in_three_is_nothing(self):
+        r = BooleanRelation(3, [(1, 0, 0), (0, 1, 0), (0, 0, 1)])
+        assert classify_relation(r) is SchaeferClass.NONE
+
+    def test_k2_edge_relation(self):
+        # Example 3.7: {(0,1),(1,0)} is bijunctive and affine, nothing else
+        r = BooleanRelation(2, [(0, 1), (1, 0)])
+        classes = classify_relation(r)
+        assert classes & SchaeferClass.BIJUNCTIVE
+        assert classes & SchaeferClass.AFFINE
+        assert not classes & SchaeferClass.HORN
+        assert not classes & SchaeferClass.DUAL_HORN
+        assert not classes & SchaeferClass.ZERO_VALID
+        assert not classes & SchaeferClass.ONE_VALID
+
+    def test_implication_relation_everything_horn_side(self):
+        # x -> y: {00, 01, 11}
+        r = BooleanRelation(2, [(0, 0), (0, 1), (1, 1)])
+        classes = classify_relation(r)
+        for c in (
+            SchaeferClass.ZERO_VALID,
+            SchaeferClass.ONE_VALID,
+            SchaeferClass.HORN,
+            SchaeferClass.DUAL_HORN,
+            SchaeferClass.BIJUNCTIVE,
+        ):
+            assert classes & c
+        assert not classes & SchaeferClass.AFFINE
+
+    @given(boolean_relations(max_arity=3))
+    @settings(max_examples=80, deadline=None)
+    def test_matches_naive_oracle(self, r):
+        classes = classify_relation(r)
+        assert bool(classes & SchaeferClass.HORN) == (
+            brute_force_definability(r, "horn")
+        )
+        assert bool(classes & SchaeferClass.DUAL_HORN) == (
+            brute_force_definability(r, "dual_horn")
+        )
+        assert bool(classes & SchaeferClass.BIJUNCTIVE) == (
+            brute_force_definability(r, "bijunctive")
+        )
+        assert bool(classes & SchaeferClass.AFFINE) == (
+            brute_force_definability(r, "affine")
+        )
+
+    def test_full_relation_in_every_class(self):
+        full = BooleanRelation(2, list(product((0, 1), repeat=2)))
+        classes = classify_relation(full)
+        assert classes == (
+            SchaeferClass.ZERO_VALID
+            | SchaeferClass.ONE_VALID
+            | SchaeferClass.HORN
+            | SchaeferClass.DUAL_HORN
+            | SchaeferClass.BIJUNCTIVE
+            | SchaeferClass.AFFINE
+        )
+
+
+class TestClassifyStructure:
+    def _structure(self, relations: dict) -> Structure:
+        vocabulary = Vocabulary.from_arities(
+            {name: len(next(iter(tuples))) for name, tuples in relations.items()}
+        )
+        return Structure(vocabulary, {0, 1}, relations)
+
+    def test_intersection_semantics(self):
+        s = self._structure(
+            {
+                "R": {(0, 1), (1, 0)},              # bijunctive + affine
+                "S": {(0, 0), (0, 1), (1, 1)},      # everything but affine
+            }
+        )
+        classes = classify_structure(s)
+        assert classes == SchaeferClass.BIJUNCTIVE
+
+    def test_is_schaefer(self):
+        good = self._structure({"R": {(0, 1), (1, 0)}})
+        assert is_schaefer(good)
+        bad = self._structure(
+            {"R": {(1, 0, 0), (0, 1, 0), (0, 0, 1)}}
+        )
+        assert not is_schaefer(bad)
+
+    def test_nontrivial_classes_masks_trivial(self):
+        s = self._structure({"R": {(0, 0), (1, 1)}})
+        assert nontrivial_classes(s) == (
+            classify_structure(s) & NONTRIVIAL_CLASSES
+        )
+
+    @given(boolean_structures(closure="horn"))
+    @settings(max_examples=30, deadline=None)
+    def test_generated_horn_structures_recognized(self, s):
+        assert classify_structure(s) & SchaeferClass.HORN
+
+    @given(boolean_structures(closure="affine"))
+    @settings(max_examples=30, deadline=None)
+    def test_generated_affine_structures_recognized(self, s):
+        assert classify_structure(s) & SchaeferClass.AFFINE

@@ -1,0 +1,170 @@
+"""Unit and property tests for finite relational structures."""
+
+import pytest
+from hypothesis import given
+
+from repro.exceptions import VocabularyError
+from repro.structures.structure import Structure, StructureBuilder
+from repro.structures.vocabulary import Vocabulary
+
+from conftest import structures
+
+GRAPH = Vocabulary.from_arities({"E": 2})
+
+
+def triangle() -> Structure:
+    return Structure(
+        GRAPH, range(3), {"E": {(0, 1), (1, 2), (2, 0)}}
+    )
+
+
+class TestConstruction:
+    def test_universe_inferred_from_facts(self):
+        s = Structure(GRAPH, (), {"E": {(0, 1)}})
+        assert s.universe == {0, 1}
+
+    def test_explicit_isolated_elements_kept(self):
+        s = Structure(GRAPH, {5}, {"E": {(0, 1)}})
+        assert 5 in s.universe
+
+    def test_undeclared_relation_rejected(self):
+        with pytest.raises(VocabularyError):
+            Structure(GRAPH, (), {"F": {(0, 1)}})
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(VocabularyError):
+            Structure(GRAPH, (), {"E": {(0, 1, 2)}})
+
+    def test_missing_relations_default_empty(self):
+        s = Structure(GRAPH, {0})
+        assert s.relation("E") == frozenset()
+
+    def test_relation_lookup_missing_raises(self):
+        with pytest.raises(KeyError):
+            triangle().relation("F")
+
+
+class TestSizes:
+    def test_len_is_universe_size(self):
+        assert len(triangle()) == 3
+
+    def test_num_facts(self):
+        assert triangle().num_facts == 3
+
+    def test_size_counts_elements_and_cells(self):
+        # 3 elements + 3 binary tuples * 2 cells.
+        assert triangle().size == 3 + 6
+
+    def test_empty_structure(self):
+        s = Structure(GRAPH)
+        assert len(s) == 0 and s.num_facts == 0 and s.size == 0
+
+
+class TestPredicates:
+    def test_holds(self):
+        s = triangle()
+        assert s.holds("E", (0, 1))
+        assert not s.holds("E", (1, 0))
+
+    def test_is_boolean(self):
+        assert Structure(GRAPH, {0, 1}, {"E": {(0, 1)}}).is_boolean
+        assert not triangle().is_boolean
+        assert Structure(GRAPH).is_boolean  # empty universe
+
+    def test_occurrences_index(self):
+        occurrences = triangle().occurrences()
+        assert sorted(occurrences) == [0, 1, 2]
+        # element 0 occurs in (0,1) at 0 and (2,0) at 1
+        entries = {(name, fact, i) for name, fact, i in occurrences[0]}
+        assert ("E", (0, 1), 0) in entries
+        assert ("E", (2, 0), 1) in entries
+
+
+class TestEquality:
+    def test_equal_structures(self):
+        assert triangle() == triangle()
+        assert hash(triangle()) == hash(triangle())
+
+    def test_unequal_on_facts(self):
+        other = Structure(GRAPH, range(3), {"E": {(0, 1)}})
+        assert triangle() != other
+
+    def test_unequal_on_universe(self):
+        bigger = Structure(
+            GRAPH, range(4), {"E": {(0, 1), (1, 2), (2, 0)}}
+        )
+        assert triangle() != bigger
+
+
+class TestDerived:
+    def test_restrict_keeps_internal_facts(self):
+        s = triangle().restrict({0, 1})
+        assert s.universe == {0, 1}
+        assert s.relation("E") == frozenset({(0, 1)})
+
+    def test_restrict_outside_universe_rejected(self):
+        with pytest.raises(VocabularyError):
+            triangle().restrict({7})
+
+    def test_rename_elements(self):
+        s = triangle().rename_elements({0: "a", 1: "b", 2: "c"})
+        assert s.universe == {"a", "b", "c"}
+        assert s.holds("E", ("a", "b"))
+
+    def test_rename_must_be_injective(self):
+        with pytest.raises(VocabularyError):
+            triangle().rename_elements({0: 1})
+
+    def test_with_vocabulary_widens(self):
+        wider = GRAPH.union(Vocabulary.from_arities({"P": 1}))
+        s = triangle().with_vocabulary(wider)
+        assert s.relation("P") == frozenset()
+        assert s.relation("E") == triangle().relation("E")
+
+    def test_with_vocabulary_cannot_narrow(self):
+        with pytest.raises(VocabularyError):
+            triangle().with_vocabulary(Vocabulary())
+
+
+class TestBuilder:
+    def test_incremental_build(self):
+        builder = StructureBuilder()
+        builder.add_fact("E", (1, 2)).add_fact("E", (2, 3))
+        builder.add_element(9)
+        s = builder.build()
+        assert s.universe == {1, 2, 3, 9}
+        assert s.holds("E", (1, 2))
+
+    def test_declare_empty_relation(self):
+        s = StructureBuilder().declare("P", 1).build()
+        assert s.relation("P") == frozenset()
+
+    def test_arity_clash_rejected(self):
+        builder = StructureBuilder().add_fact("E", (1, 2))
+        with pytest.raises(VocabularyError):
+            builder.add_fact("E", (1, 2, 3))
+
+
+class TestProperties:
+    @given(structures())
+    def test_facts_iteration_matches_relations(self, s):
+        listed = list(s.facts())
+        assert len(listed) == s.num_facts
+        for name, fact in listed:
+            assert s.holds(name, fact)
+
+    @given(structures())
+    def test_sorted_universe_is_stable_permutation(self, s):
+        assert set(s.sorted_universe) == set(s.universe)
+        assert len(s.sorted_universe) == len(s.universe)
+
+    @given(structures())
+    def test_restrict_to_full_universe_is_identity(self, s):
+        assert s.restrict(s.universe) == s
+
+    @given(structures())
+    def test_size_formula(self, s):
+        cells = sum(
+            len(rel) * symbol.arity for symbol, rel in s.relations()
+        )
+        assert s.size == len(s) + cells

@@ -1,0 +1,119 @@
+"""Unit tests for vocabularies and relation symbols."""
+
+import pytest
+
+from repro.exceptions import VocabularyError
+from repro.structures.vocabulary import RelationSymbol, Vocabulary
+
+
+class TestRelationSymbol:
+    def test_basic_fields(self):
+        symbol = RelationSymbol("E", 2)
+        assert symbol.name == "E"
+        assert symbol.arity == 2
+
+    def test_str(self):
+        assert str(RelationSymbol("E", 2)) == "E/2"
+
+    def test_equality_and_hash(self):
+        assert RelationSymbol("E", 2) == RelationSymbol("E", 2)
+        assert RelationSymbol("E", 2) != RelationSymbol("E", 3)
+        assert hash(RelationSymbol("E", 2)) == hash(RelationSymbol("E", 2))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(VocabularyError):
+            RelationSymbol("", 1)
+
+    def test_negative_arity_rejected(self):
+        with pytest.raises(VocabularyError):
+            RelationSymbol("E", -1)
+
+    def test_nullary_allowed(self):
+        assert RelationSymbol("S", 0).arity == 0
+
+
+class TestVocabulary:
+    def test_empty(self):
+        vocabulary = Vocabulary()
+        assert len(vocabulary) == 0
+        assert vocabulary.max_arity == 0
+        assert list(vocabulary) == []
+
+    def test_from_arities(self):
+        vocabulary = Vocabulary.from_arities({"E": 2, "P": 1})
+        assert vocabulary.arity("E") == 2
+        assert vocabulary.arity("P") == 1
+        assert len(vocabulary) == 2
+
+    def test_deterministic_order(self):
+        vocabulary = Vocabulary.from_arities({"Z": 1, "A": 2, "M": 3})
+        assert vocabulary.names == ("A", "M", "Z")
+
+    def test_clashing_arities_rejected(self):
+        with pytest.raises(VocabularyError):
+            Vocabulary([RelationSymbol("E", 2), RelationSymbol("E", 3)])
+
+    def test_duplicate_symbols_deduplicated(self):
+        vocabulary = Vocabulary(
+            [RelationSymbol("E", 2), RelationSymbol("E", 2)]
+        )
+        assert len(vocabulary) == 1
+
+    def test_contains_symbol_and_name(self):
+        vocabulary = Vocabulary.from_arities({"E": 2})
+        assert RelationSymbol("E", 2) in vocabulary
+        assert RelationSymbol("E", 3) not in vocabulary
+        assert "E" in vocabulary
+        assert "F" not in vocabulary
+        assert 42 not in vocabulary
+
+    def test_getitem_and_keyerror(self):
+        vocabulary = Vocabulary.from_arities({"E": 2})
+        assert vocabulary["E"].arity == 2
+        with pytest.raises(KeyError):
+            vocabulary["F"]
+
+    def test_get_returns_none_for_missing(self):
+        assert Vocabulary().get("E") is None
+
+    def test_union(self):
+        v1 = Vocabulary.from_arities({"E": 2})
+        v2 = Vocabulary.from_arities({"P": 1})
+        union = v1.union(v2)
+        assert "E" in union and "P" in union
+
+    def test_union_clash_rejected(self):
+        v1 = Vocabulary.from_arities({"E": 2})
+        v2 = Vocabulary.from_arities({"E": 3})
+        with pytest.raises(VocabularyError):
+            v1.union(v2)
+
+    def test_union_idempotent_on_shared_symbols(self):
+        v1 = Vocabulary.from_arities({"E": 2, "P": 1})
+        v2 = Vocabulary.from_arities({"E": 2})
+        assert v1.union(v2) == v1
+
+    def test_issubset(self):
+        small = Vocabulary.from_arities({"E": 2})
+        big = Vocabulary.from_arities({"E": 2, "P": 1})
+        assert small.issubset(big)
+        assert not big.issubset(small)
+
+    def test_equality_and_hash(self):
+        v1 = Vocabulary.from_arities({"E": 2, "P": 1})
+        v2 = Vocabulary.from_arities({"P": 1, "E": 2})
+        assert v1 == v2
+        assert hash(v1) == hash(v2)
+        assert v1 != Vocabulary.from_arities({"E": 2})
+
+    def test_max_arity(self):
+        assert Vocabulary.from_arities({"E": 2, "T": 5}).max_arity == 5
+
+    def test_renamed(self):
+        vocabulary = Vocabulary.from_arities({"E": 2, "P": 1})
+        renamed = vocabulary.renamed({"E": "F"})
+        assert "F" in renamed and "P" in renamed and "E" not in renamed
+        assert renamed.arity("F") == 2
+
+    def test_repr_mentions_symbols(self):
+        assert "E/2" in repr(Vocabulary.from_arities({"E": 2}))
