@@ -1,11 +1,13 @@
 #!/usr/bin/env python3
-"""Print the experiment report: one table per experiment E1–E14.
+"""Print the experiment report: one table per experiment E1–E15, plus P1.
 
 This is the "rows/series" harness of EXPERIMENTS.md: each table reports
 wall-clock medians for every algorithm on the shared workloads of
 ``_workloads.py``, so the shapes (who wins, scaling trend, crossovers)
 can be read off directly.  pytest-benchmark gives the statistically
 careful numbers; this runner gives the at-a-glance reproduction report.
+P1 exercises the solver pipeline itself: routing overhead and the
+amortization won by the fingerprint cache and ``solve_many``.
 
 Run:  python benchmarks/run_all.py [--repeat 3]
 """
@@ -14,14 +16,9 @@ from __future__ import annotations
 
 import argparse
 import statistics
-import sys
 import time
-from pathlib import Path
 
-_ROOT = Path(__file__).resolve().parent.parent
-for entry in (str(_ROOT / "src"), str(_ROOT / "benchmarks")):
-    if entry not in sys.path:
-        sys.path.insert(0, entry)
+import _paths  # noqa: F401  (puts src/ and benchmarks/ on sys.path)
 
 import _workloads as W  # noqa: E402
 from repro.boolean.booleanize import booleanize  # noqa: E402
@@ -33,10 +30,14 @@ from repro.boolean.schaefer import classify_structure  # noqa: E402
 from repro.boolean.uniform import solve_schaefer_csp  # noqa: E402
 from repro.csp.backtracking import solve_backtracking  # noqa: E402
 from repro.csp.generators import random_boolean_target  # noqa: E402
+from repro.core.pipeline import SolverPipeline  # noqa: E402
+from repro.cq.acyclic import yannakakis_holds  # noqa: E402
 from repro.cq.containment import (  # noqa: E402
     contains,
     contains_via_evaluation,
 )
+from repro.cq.evaluation import holds  # noqa: E402
+from repro.cq.query import Atom, ConjunctiveQuery  # noqa: E402
 from repro.cq.saraiya import two_atom_contains  # noqa: E402
 from repro.datalog.canonical_program import canonical_program  # noqa: E402
 from repro.datalog.evaluation import goal_holds  # noqa: E402
@@ -45,7 +46,11 @@ from repro.fo.from_decomposition import structure_to_formula  # noqa: E402
 from repro.pebble.game import spoiler_wins  # noqa: E402
 from repro.pebble.kconsistency import strong_k_consistent  # noqa: E402
 from repro.structures.binary_encoding import binary_encoding  # noqa: E402
-from repro.structures.graphs import clique, random_graph  # noqa: E402
+from repro.structures.graphs import (  # noqa: E402
+    clique,
+    random_digraph,
+    random_graph,
+)
 from repro.treewidth.dp import solve_by_treewidth  # noqa: E402
 
 REPEAT = 3
@@ -295,16 +300,75 @@ def e14() -> None:
     )
 
 
+def e15() -> None:
+    database = random_digraph(12, 0.2, seed=21)
+    rows = []
+    for length in (2, 4, 8, 16):
+        atoms = [
+            Atom("E", (f"X{i}", f"X{i + 1}")) for i in range(length)
+        ]
+        query = ConjunctiveQuery((), atoms)
+        rows.append(
+            [
+                length,
+                ms(timed(yannakakis_holds, query, database)),
+                ms(timed(holds, query, database)),
+            ]
+        )
+    table(
+        "E15 Yannakakis acyclic evaluation (introduction's lineage)",
+        ["chain", "semi-join", "general"],
+        rows,
+    )
+
+
+def p01() -> None:
+    """The pipeline itself: cached classification and batch amortization."""
+    target = random_boolean_target(W.TERNARY, 16, seed=3)
+    sources = [
+        W.random_structure(W.TERNARY, n, 2 * n, seed=n)
+        for n in (8, 12, 16, 20)
+    ]
+    pairs = [(source, target) for source in sources]
+
+    def cold() -> None:
+        # a fresh pipeline per call: classification recomputed each time,
+        # which is exactly what the seed dispatcher did
+        for source, tgt in pairs:
+            SolverPipeline().solve(source, tgt)
+
+    def warm() -> None:
+        SolverPipeline().solve_many(pairs)
+
+    rows = [
+        [len(pairs), ms(timed(cold)), ms(timed(warm))],
+    ]
+    table(
+        "P1 pipeline batch vs per-call (fingerprint cache amortization)",
+        ["batch size", "cold (per-call)", "warm (solve_many)"],
+        rows,
+    )
+    pipeline = SolverPipeline()
+    solutions = pipeline.solve_many(pairs)
+    hits = sum(s.stats.cache_hits for s in solutions)
+    misses = sum(s.stats.cache_misses for s in solutions)
+    print(
+        f"(shared target classified once: {misses} cache miss(es), "
+        f"{hits} hit(s) across {len(solutions)} solves)"
+    )
+
+
 def main() -> None:
     global REPEAT
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--repeat", type=int, default=3)
     args = parser.parse_args()
-    REPEAT = args.repeat
+    REPEAT = max(1, args.repeat)
     print("Experiment report — Kolaitis & Vardi reproduction")
     print("(median wall-clock per call; see EXPERIMENTS.md for shapes)")
     for experiment in (
-        e01, e03, e04, e05_e06, e07, e08, e09, e10_e11, e12, e13, e14
+        e01, e03, e04, e05_e06, e07, e08, e09, e10_e11, e12, e13, e14,
+        e15, p01,
     ):
         experiment()
 

@@ -9,7 +9,7 @@ instance (Sections 2–4 of the paper in one workflow).
 Run:  python examples/map_coloring_csp.py
 """
 
-from repro import solve
+from repro import SolverPipeline, solve
 from repro.boolean.booleanize import booleanize
 from repro.boolean.schaefer import classify_structure
 from repro.boolean.uniform import solve_schaefer_csp
@@ -43,11 +43,33 @@ def map_coloring() -> None:
     graph = australia_structure()
     solution = solve(graph, clique(3))
     print(f"strategy: {solution.strategy}")
+    print(f"routes consulted: {', '.join(solution.stats.attempted)}")
     colors = ["red", "green", "blue"]
     for region in sorted(AUSTRALIA):
         print(f"  {region:4s} -> {colors[solution.homomorphism[region]]}")
     refuted = solve(graph, clique(2))
     print(f"2 colors suffice? {refuted.exists} (via {refuted.strategy})")
+    print()
+
+
+def batch_coloring() -> None:
+    print("=== Batch solving on one pipeline (solve_many) ===")
+    graph = australia_structure()
+    pipeline = SolverPipeline()
+    # one decomposition of Australia serves every palette size
+    palettes = (2, 3, 4)
+    solutions = pipeline.solve_many(
+        [(graph, clique(k)) for k in palettes]
+    )
+    for k, solution in zip(palettes, solutions):
+        print(
+            f"  {k}-colorable? {solution.exists!s:5s} "
+            f"via {solution.strategy} "
+            f"(cache hits {solution.stats.cache_hits}, "
+            f"misses {solution.stats.cache_misses})"
+        )
+    stats = pipeline.cache.stats
+    print(f"pipeline cache totals: {stats.hits} hits / {stats.misses} misses")
     print()
 
 
@@ -98,6 +120,7 @@ def pebble_refutation() -> None:
 
 if __name__ == "__main__":
     map_coloring()
+    batch_coloring()
     exam_scheduling()
     booleanization_pipeline()
     pebble_refutation()

@@ -17,6 +17,7 @@ from repro import (
     minimize,
     parse_query,
     solve,
+    solve_many,
 )
 from repro.structures.graphs import clique, cycle, digraph_structure
 
@@ -58,12 +59,21 @@ def csp_demo() -> None:
     print(f"  C6 -> K2: {find_homomorphism(c6, k2)}")
     print(f"  C5 -> K2: {find_homomorphism(c5, k2)}")
     print()
-    print("the uniform dispatcher picks the right algorithm:")
+    print("the pipeline routes each instance to the right algorithm:")
     for source, target in ((c6, k2), (c5, clique(3))):
         solution = solve(source, target)
         print(
             f"  solve(C{len(source)}, K{len(target)}): exists="
             f"{solution.exists} via {solution.strategy}"
+        )
+    print()
+    print("batches against a shared target hit the classification cache:")
+    solutions = solve_many([(cycle(n), k2) for n in (4, 5, 6, 7)])
+    for n, solution in zip((4, 5, 6, 7), solutions):
+        print(
+            f"  C{n} -> K2: exists={solution.exists!s:5s} "
+            f"via {solution.strategy} "
+            f"(cache hits: {solution.stats.cache_hits})"
         )
     print()
 

@@ -11,6 +11,7 @@
 Run:  python examples/treewidth_pipeline.py
 """
 
+from repro.core.pipeline import SolverPipeline
 from repro.csp.generators import bounded_treewidth_structure
 from repro.fo.from_decomposition import (
     homomorphism_exists_by_fo,
@@ -58,6 +59,23 @@ def dp_demo() -> None:
     print()
 
 
+def pipeline_demo() -> None:
+    print("=== The solver pipeline routes low-width sources to the DP ===")
+    structure, _, _ = bounded_treewidth_structure(14, 2, seed=7)
+    pipeline = SolverPipeline()
+    solutions = pipeline.solve_many(
+        [(structure, clique(colors)) for colors in (3, 4)]
+    )
+    for colors, solution in zip((3, 4), solutions):
+        print(
+            f"  {colors}-colorable? {solution.exists!s:5s} "
+            f"via {solution.strategy} "
+            f"(decomposition cache hits: {solution.stats.cache_hits})"
+        )
+    print("(the source is decomposed once; later solves reuse it)")
+    print()
+
+
 def fo_demo() -> None:
     print("=== Lemma 5.2: width-k structures as EFO^(k+1) sentences ===")
     structure = path(5)
@@ -97,5 +115,6 @@ def binary_encoding_demo() -> None:
 if __name__ == "__main__":
     decomposition_demo()
     dp_demo()
+    pipeline_demo()
     fo_demo()
     binary_encoding_demo()

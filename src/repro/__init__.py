@@ -24,8 +24,15 @@ See README.md for the architecture overview and EXPERIMENTS.md for the
 theorem-by-theorem experiment suite.
 """
 
+from repro.core.pipeline import (
+    Solution,
+    SolveStats,
+    SolverPipeline,
+    default_pipeline,
+    solve,
+    solve_many,
+)
 from repro.core.problem import HomomorphismProblem
-from repro.core.solver import Solution, solve
 from repro.cq.containment import (
     containment_witness,
     contains,
@@ -71,8 +78,12 @@ __all__ = [
     "evaluate",
     "evaluate_join",
     "minimize",
-    # the unified problem and the uniform solver
+    # the unified problem and the uniform solver pipeline
     "HomomorphismProblem",
     "Solution",
+    "SolveStats",
+    "SolverPipeline",
+    "default_pipeline",
     "solve",
+    "solve_many",
 ]

@@ -1,17 +1,41 @@
 """The paper's primary contribution, as an API.
 
 :class:`HomomorphismProblem` unifies conjunctive-query containment,
-conjunctive-query evaluation, and constraint satisfaction; :func:`solve`
-is the uniform solver that routes each instance to the tractable algorithm
-(Schaefer / treewidth / pebble games) the paper proves applicable.
+conjunctive-query evaluation, and constraint satisfaction;
+:func:`solve` routes each instance through the pluggable
+:class:`SolverPipeline` to the tractable algorithm (Schaefer / treewidth /
+pebble games) the paper proves applicable, and :func:`solve_many` batches
+instances so per-target analysis is computed once.  See
+:mod:`repro.core.pipeline` for the strategy protocol and the cache, and
+``docs/architecture.md`` for how an instance flows through the pipeline.
 """
 
+from repro.core.pipeline import (
+    DEFAULT_WIDTH_THRESHOLD,
+    CacheStats,
+    Solution,
+    SolveContext,
+    SolveStats,
+    SolverPipeline,
+    Strategy,
+    StructureCache,
+    default_pipeline,
+    solve,
+    solve_many,
+)
 from repro.core.problem import HomomorphismProblem
-from repro.core.solver import DEFAULT_WIDTH_THRESHOLD, Solution, solve
 
 __all__ = [
     "HomomorphismProblem",
     "Solution",
+    "SolveStats",
+    "CacheStats",
+    "SolveContext",
+    "Strategy",
+    "StructureCache",
+    "SolverPipeline",
+    "default_pipeline",
     "solve",
+    "solve_many",
     "DEFAULT_WIDTH_THRESHOLD",
 ]

@@ -1,0 +1,511 @@
+"""The pluggable uniform-solver pipeline.
+
+Kolaitis & Vardi's program is to recognize *tractable islands* of the
+homomorphism problem — Schaefer Boolean targets (Section 3), sources of
+bounded treewidth (Section 5), targets whose cCSP is k-Datalog-expressible
+(Section 4) — and route each instance to the algorithm the paper proves
+applicable.  The seed dispatcher hardwired that routing in one if-chain;
+this module turns it into an explicit, extensible pipeline:
+
+* :class:`Strategy` — the protocol a route implements: ``applies()`` says
+  whether this island's hypothesis holds for the instance, ``run()``
+  decides it.  Each of the paper's routes lives in its own module under
+  :mod:`repro.core.strategies`; a new island is a drop-in file.
+* :class:`SolverPipeline` — an ordered registry of strategies.  The first
+  strategy whose ``applies()`` accepts the instance runs; order encodes
+  the same preference as the seed dispatcher (trivial constants before
+  Horn before dual-Horn before …, structure before search).
+* :class:`StructureCache` — memoizes Schaefer classification (per target)
+  and greedy tree decomposition (per source) across solve calls, keyed by
+  :func:`repro.structures.fingerprint.canonical_fingerprint`.  A workload
+  of many sources against few targets classifies each target exactly once.
+* :meth:`SolverPipeline.solve_many` — the batch API: groups instances by
+  target fingerprint so shared classification work is amortized even on a
+  cold cache, and returns solutions in input order.
+* :class:`SolveStats` — per-solve tracing attached to every
+  :class:`Solution`: which strategies were consulted, which ran, cache
+  hits/misses, and wall-clock timings, making the routing observable.
+
+The module-level :func:`solve` / :func:`solve_many` operate on a shared
+default pipeline (one process-wide cache); construct a
+:class:`SolverPipeline` directly for an isolated cache or a custom
+strategy order.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import (
+    Hashable,
+    Iterable,
+    Mapping,
+    Protocol,
+    runtime_checkable,
+)
+
+from repro.boolean.schaefer import SchaeferClass, classify_structure
+from repro.exceptions import VocabularyError
+from repro.structures.fingerprint import canonical_fingerprint
+from repro.structures.structure import Structure
+from repro.treewidth.decomposition import TreeDecomposition
+from repro.treewidth.heuristics import decompose
+
+__all__ = [
+    "DEFAULT_WIDTH_THRESHOLD",
+    "CacheStats",
+    "Solution",
+    "SolveContext",
+    "SolveStats",
+    "SolverPipeline",
+    "Strategy",
+    "StructureCache",
+    "default_pipeline",
+    "solve",
+    "solve_many",
+]
+
+Element = Hashable
+
+#: Width up to which the treewidth DP is preferred over backtracking.
+DEFAULT_WIDTH_THRESHOLD = 3
+
+
+# ---------------------------------------------------------------------------
+# Results
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SolveStats:
+    """Per-solve trace: what the pipeline tried and what it cost.
+
+    Attributes
+    ----------
+    attempted:
+        Names of the strategies whose ``applies()`` was consulted, in
+        pipeline order; the last entry is the strategy that ran.
+    cache_hits / cache_misses:
+        How many :class:`StructureCache` lookups this solve served from /
+        added to the shared cache.  A repeated solve against an
+        already-seen Boolean target reports ``cache_hits >= 1``.
+    timings:
+        Wall-clock milliseconds: one ``"applies:<name>"`` entry per
+        consulted strategy, one ``"run:<name>"`` entry for the winner, and
+        ``"total"`` for the whole solve.
+    """
+
+    attempted: tuple[str, ...] = ()
+    cache_hits: int = 0
+    cache_misses: int = 0
+    timings: Mapping[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Solution:
+    """The outcome of a solve.
+
+    ``homomorphism`` is ``None`` when no homomorphism exists; ``strategy``
+    names the algorithm that decided the instance, making the routing
+    observable (and testable).  ``stats`` carries the per-solve trace when
+    the solution was produced by a :class:`SolverPipeline` (strategies
+    construct solutions without stats; the pipeline attaches them).
+    """
+
+    homomorphism: dict[Element, Element] | None
+    strategy: str
+    stats: SolveStats | None = None
+
+    @property
+    def exists(self) -> bool:
+        return self.homomorphism is not None
+
+
+# ---------------------------------------------------------------------------
+# The cross-call analysis cache
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Cumulative hit/miss counters of a :class:`StructureCache`."""
+
+    hits: int
+    misses: int
+
+
+class StructureCache:
+    """Memoizes per-structure analyses across solve calls.
+
+    Keys are canonical fingerprints (:func:`canonical_fingerprint`), so a
+    structurally equal target built twice — e.g. re-parsed from JSON — still
+    hits.  Two analyses are cached because they are the two the dispatcher
+    recomputed per call in the seed:
+
+    * :meth:`classification` — the Schaefer classes of a Boolean target
+      (Theorem 3.1's polynomial recognition, run once per target);
+    * :meth:`decomposition` — the greedy tree decomposition of a source
+      (the Section 5 hypothesis test, run once per source).
+    """
+
+    #: Default per-analysis entry bound; old entries are evicted LRU-first.
+    DEFAULT_MAXSIZE = 4096
+
+    def __init__(self, maxsize: int = DEFAULT_MAXSIZE) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be positive")
+        self._maxsize = maxsize
+        self._classifications: dict[str, SchaeferClass] = {}
+        self._decompositions: dict[str, TreeDecomposition] = {}
+        self._hits = 0
+        self._misses = 0
+
+    @property
+    def stats(self) -> CacheStats:
+        return CacheStats(self._hits, self._misses)
+
+    def __len__(self) -> int:
+        return len(self._classifications) + len(self._decompositions)
+
+    def clear(self) -> None:
+        """Drop all cached analyses (counters included)."""
+        self._classifications.clear()
+        self._decompositions.clear()
+        self._hits = 0
+        self._misses = 0
+
+    def _lookup(self, table: dict, key: str, compute):
+        """LRU lookup: hits move to the back, inserts evict the front.
+
+        Python dicts preserve insertion order, so the front of the dict is
+        the least-recently-used entry; bounding each table keeps a
+        long-lived process (the north-star serving workload) from
+        accumulating one decomposition per distinct source forever.
+        """
+        try:
+            result = table.pop(key)
+            table[key] = result
+            self._hits += 1
+            return result
+        except KeyError:
+            self._misses += 1
+            result = compute()
+            if len(table) >= self._maxsize:
+                table.pop(next(iter(table)))
+            table[key] = result
+            return result
+
+    def classification(self, target: Structure) -> SchaeferClass:
+        """The (cached) Schaefer classification of a Boolean ``target``."""
+        return self._lookup(
+            self._classifications,
+            canonical_fingerprint(target),
+            lambda: classify_structure(target),
+        )
+
+    def decomposition(self, source: Structure) -> TreeDecomposition:
+        """The (cached) greedy tree decomposition of ``source``."""
+        return self._lookup(
+            self._decompositions,
+            canonical_fingerprint(source),
+            lambda: decompose(source),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Per-solve context
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SolveContext:
+    """Everything a strategy may consult while deciding one instance.
+
+    Carries the solve options, a handle to the shared cross-call
+    :class:`StructureCache`, and a per-solve memo so that the cache (and
+    its hit/miss counters) is consulted at most once per analysis per
+    solve, however many strategies ask.  ``scratch`` lets ``applies()``
+    hand expensive intermediate results to ``run()`` (the pebble strategy
+    stores the game verdict there).
+    """
+
+    cache: StructureCache
+    width_threshold: int = DEFAULT_WIDTH_THRESHOLD
+    pebble_k: int | None = None
+    scratch: dict[str, object] = field(default_factory=dict)
+    # Per-solve memos are keyed by the structure itself (structures hash
+    # and compare by value), so a strategy asking about a *different*
+    # structure — e.g. a booleanized encoding of the target — gets that
+    # structure's analysis, never a stale memo of the instance's.
+    _classifications: dict[Structure, SchaeferClass] = field(
+        default_factory=dict, repr=False
+    )
+    _decompositions: dict[Structure, TreeDecomposition] = field(
+        default_factory=dict, repr=False
+    )
+
+    def classification(self, target: Structure) -> SchaeferClass:
+        """Schaefer classes of ``target``, via the cache, memoized per solve."""
+        if target not in self._classifications:
+            self._classifications[target] = self.cache.classification(target)
+        return self._classifications[target]
+
+    def decomposition(self, source: Structure) -> TreeDecomposition:
+        """Greedy decomposition of ``source``, via the cache, memoized per solve."""
+        if source not in self._decompositions:
+            self._decompositions[source] = self.cache.decomposition(source)
+        return self._decompositions[source]
+
+
+# ---------------------------------------------------------------------------
+# The strategy protocol
+# ---------------------------------------------------------------------------
+
+@runtime_checkable
+class Strategy(Protocol):
+    """One route of the uniform solver: a tractable island plus its algorithm.
+
+    ``applies`` tests the island's hypothesis (is the target Horn? does
+    the source have small width?) — it must be sound: when it returns
+    ``True``, ``run`` must decide the instance correctly.  ``applies`` may
+    stash intermediate results in ``context.scratch`` for ``run`` to
+    reuse.  ``run`` returns a :class:`Solution` whose ``strategy`` names
+    the route (parametrized routes interpolate, e.g.
+    ``"treewidth-dp(width=2)"``); the pipeline attaches stats afterwards.
+    """
+
+    name: str
+
+    def applies(
+        self, source: Structure, target: Structure, context: SolveContext
+    ) -> bool:
+        """Whether this route's tractability hypothesis holds for (A, B)."""
+        ...
+
+    def run(
+        self, source: Structure, target: Structure, context: SolveContext
+    ) -> Solution:
+        """Decide ``source → target``; only called after ``applies`` accepted."""
+        ...
+
+
+# ---------------------------------------------------------------------------
+# The pipeline
+# ---------------------------------------------------------------------------
+
+class SolverPipeline:
+    """An ordered registry of :class:`Strategy` instances plus a shared cache.
+
+    The first registered strategy whose ``applies()`` accepts an instance
+    runs it.  The default order reproduces the seed dispatcher exactly
+    (see :mod:`repro.core.strategies`); ``register`` / ``unregister``
+    splice routes in and out without touching the others.
+    """
+
+    def __init__(
+        self,
+        strategies: Iterable[Strategy] | None = None,
+        *,
+        cache: StructureCache | None = None,
+    ) -> None:
+        if strategies is None:
+            from repro.core.strategies import default_strategies
+
+            strategies = default_strategies()
+        self._strategies: list[Strategy] = list(strategies)
+        self.cache = cache if cache is not None else StructureCache()
+
+    # -- registry ------------------------------------------------------------
+
+    @property
+    def strategies(self) -> tuple[Strategy, ...]:
+        """The current routes, in dispatch order."""
+        return tuple(self._strategies)
+
+    @property
+    def strategy_names(self) -> tuple[str, ...]:
+        return tuple(s.name for s in self._strategies)
+
+    def _index_of(self, name: str) -> int:
+        for i, strategy in enumerate(self._strategies):
+            if strategy.name == name:
+                return i
+        raise KeyError(f"no strategy named {name!r} in the pipeline")
+
+    def register(
+        self,
+        strategy: Strategy,
+        *,
+        before: str | None = None,
+        after: str | None = None,
+    ) -> "SolverPipeline":
+        """Insert a route; by default it goes last (just a new fallback).
+
+        ``before``/``after`` name an existing strategy to splice next to;
+        they are mutually exclusive.  Returns ``self`` for chaining.
+        """
+        if before is not None and after is not None:
+            raise ValueError("pass at most one of 'before' and 'after'")
+        if before is not None:
+            index = self._index_of(before)
+        elif after is not None:
+            index = self._index_of(after) + 1
+        else:
+            index = len(self._strategies)
+        self._strategies.insert(index, strategy)
+        return self
+
+    def unregister(self, name: str) -> Strategy:
+        """Remove and return the route named ``name``."""
+        return self._strategies.pop(self._index_of(name))
+
+    # -- solving -------------------------------------------------------------
+
+    def solve(
+        self,
+        source: Structure,
+        target: Structure,
+        *,
+        width_threshold: int = DEFAULT_WIDTH_THRESHOLD,
+        try_pebble_refutation: int | None = None,
+    ) -> Solution:
+        """Decide ``source → target`` with the first applicable route.
+
+        Parameters
+        ----------
+        width_threshold:
+            Use the treewidth DP when a greedy decomposition of the source
+            has width at most this value.
+        try_pebble_refutation:
+            If set to ``k``, run the existential k-pebble game before
+            backtracking; a Spoiler win refutes the instance outright
+            (sound by Theorem 4.8's easy direction).
+
+        Returns
+        -------
+        Solution
+            With ``stats`` populated: strategies consulted, cache traffic,
+            and timings.
+        """
+        if source.vocabulary != target.vocabulary:
+            raise VocabularyError(
+                "a homomorphism problem needs a common vocabulary"
+            )
+        context = SolveContext(
+            cache=self.cache,
+            width_threshold=width_threshold,
+            pebble_k=try_pebble_refutation,
+        )
+        before = self.cache.stats
+        attempted: list[str] = []
+        timings: dict[str, float] = {}
+        start = time.perf_counter()
+        solution: Solution | None = None
+        for strategy in self._strategies:
+            tick = time.perf_counter()
+            accepted = strategy.applies(source, target, context)
+            timings[f"applies:{strategy.name}"] = (
+                (time.perf_counter() - tick) * 1000
+            )
+            attempted.append(strategy.name)
+            if accepted:
+                tick = time.perf_counter()
+                solution = strategy.run(source, target, context)
+                timings[f"run:{strategy.name}"] = (
+                    (time.perf_counter() - tick) * 1000
+                )
+                break
+        if solution is None:
+            raise RuntimeError(
+                "no strategy applied — the pipeline needs a total fallback "
+                "(the default registry ends with backtracking)"
+            )
+        timings["total"] = (time.perf_counter() - start) * 1000
+        after = self.cache.stats
+        stats = SolveStats(
+            attempted=tuple(attempted),
+            cache_hits=after.hits - before.hits,
+            cache_misses=after.misses - before.misses,
+            timings=timings,
+        )
+        return replace(solution, stats=stats)
+
+    def solve_many(
+        self,
+        pairs: Iterable[tuple[Structure, Structure]],
+        *,
+        width_threshold: int = DEFAULT_WIDTH_THRESHOLD,
+        try_pebble_refutation: int | None = None,
+    ) -> list[Solution]:
+        """Decide a batch of instances, amortizing per-target analysis.
+
+        The shared :class:`StructureCache` guarantees each distinct target
+        is classified once (and each distinct source decomposed once);
+        grouping the batch by target fingerprint additionally keeps every
+        group's solves adjacent, so a bounded cache cannot evict a target
+        between two instances that share it, however large the batch.
+        Results are returned in input order; ``solve_many`` agrees with
+        mapping :meth:`solve` over the batch instance by instance.
+        """
+        indexed = list(enumerate(pairs))
+        groups: dict[str, list[tuple[int, Structure, Structure]]] = {}
+        for position, (source, target) in indexed:
+            key = canonical_fingerprint(target)
+            groups.setdefault(key, []).append((position, source, target))
+        solutions: list[Solution | None] = [None] * len(indexed)
+        for group in groups.values():
+            for position, source, target in group:
+                solutions[position] = self.solve(
+                    source,
+                    target,
+                    width_threshold=width_threshold,
+                    try_pebble_refutation=try_pebble_refutation,
+                )
+        return solutions  # type: ignore[return-value]
+
+
+# ---------------------------------------------------------------------------
+# The default pipeline
+# ---------------------------------------------------------------------------
+
+_default: SolverPipeline | None = None
+
+
+def default_pipeline() -> SolverPipeline:
+    """The process-wide pipeline behind :func:`solve` (shared cache)."""
+    global _default
+    if _default is None:
+        _default = SolverPipeline()
+    return _default
+
+
+def solve(
+    source: Structure,
+    target: Structure,
+    *,
+    width_threshold: int = DEFAULT_WIDTH_THRESHOLD,
+    try_pebble_refutation: int | None = None,
+) -> Solution:
+    """Decide ``source → target`` on the default pipeline.
+
+    Drop-in replacement for the seed dispatcher: routing decisions and
+    strategy names are unchanged; the returned :class:`Solution`
+    additionally carries :class:`SolveStats`.
+    """
+    return default_pipeline().solve(
+        source,
+        target,
+        width_threshold=width_threshold,
+        try_pebble_refutation=try_pebble_refutation,
+    )
+
+
+def solve_many(
+    pairs: Iterable[tuple[Structure, Structure]],
+    *,
+    width_threshold: int = DEFAULT_WIDTH_THRESHOLD,
+    try_pebble_refutation: int | None = None,
+) -> list[Solution]:
+    """Batch-decide instances on the default pipeline (shared cache)."""
+    return default_pipeline().solve_many(
+        pairs,
+        width_threshold=width_threshold,
+        try_pebble_refutation=try_pebble_refutation,
+    )

@@ -1,127 +1,35 @@
-"""The uniform solver: recognize a tractable island, else backtrack.
+"""The uniform solver — thin compatibility façade over the pipeline.
 
 The paper's program is to find *uniform* polynomial cases of the
-homomorphism problem.  This dispatcher operationalizes the three families
-it proves uniformizable:
+homomorphism problem; the routing that operationalizes it (Schaefer
+targets → direct algorithms, bounded-treewidth sources → the Theorem 5.4
+DP, the optional k-pebble refutation, backtracking as the total fallback)
+now lives in :mod:`repro.core.pipeline` as an ordered registry of
+:class:`~repro.core.pipeline.Strategy` objects, one module per route
+under :mod:`repro.core.strategies`.
 
-1. **Schaefer targets** (Section 3): if the target is Boolean and in SC,
-   route to the direct quadratic algorithms of Theorem 3.4 (Horn,
-   dual-Horn, bijunctive), the GF(2) route for affine, or the constant map
-   for 0/1-valid targets.
-2. **Bounded-treewidth sources** (Section 5): if a greedy decomposition of
-   the source has small width, run the Theorem 5.4 dynamic program.
-3. **k-consistency** (Section 4): optionally run the existential k-pebble
-   game as a *sound incomplete* refutation step — if the Spoiler wins,
-   there is certainly no homomorphism (and for targets whose cCSP is
-   k-Datalog-expressible this is complete, Theorem 4.8).
-
-Everything else falls back to the NP backtracking baseline.
+This module keeps the seed's public surface stable: ``solve`` delegates
+to the process-wide default pipeline (routing decisions and strategy
+names are unchanged), and :class:`Solution` / ``DEFAULT_WIDTH_THRESHOLD``
+are re-exported.  New code should import from :mod:`repro.core.pipeline`
+directly — that is where ``solve_many``, ``SolverPipeline``, and the
+structure cache live.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Hashable
-
-from repro.boolean.direct import (
-    solve_bijunctive_csp,
-    solve_dual_horn_csp,
-    solve_horn_csp,
+from repro.core.pipeline import (
+    DEFAULT_WIDTH_THRESHOLD,
+    Solution,
+    SolveStats,
+    solve,
+    solve_many,
 )
-from repro.boolean.schaefer import SchaeferClass, classify_structure
-from repro.boolean.uniform import solve_schaefer_csp
-from repro.csp.backtracking import solve_backtracking
-from repro.pebble.game import spoiler_wins
-from repro.structures.structure import Structure
-from repro.treewidth.dp import solve_by_treewidth
-from repro.treewidth.heuristics import decompose
 
-__all__ = ["Solution", "solve"]
-
-Element = Hashable
-
-#: Width up to which the treewidth DP is preferred over backtracking.
-DEFAULT_WIDTH_THRESHOLD = 3
-
-
-@dataclass(frozen=True)
-class Solution:
-    """The outcome of :func:`solve`.
-
-    ``homomorphism`` is ``None`` when no homomorphism exists;
-    ``strategy`` names the algorithm that decided the instance, making
-    the dispatcher's routing observable (and testable).
-    """
-
-    homomorphism: dict[Element, Element] | None
-    strategy: str
-
-    @property
-    def exists(self) -> bool:
-        return self.homomorphism is not None
-
-
-def solve(
-    source: Structure,
-    target: Structure,
-    *,
-    width_threshold: int = DEFAULT_WIDTH_THRESHOLD,
-    try_pebble_refutation: int | None = None,
-) -> Solution:
-    """Decide ``source → target`` with the best applicable algorithm.
-
-    Parameters
-    ----------
-    width_threshold:
-        Use the treewidth DP when a greedy decomposition of the source has
-        width at most this value.
-    try_pebble_refutation:
-        If set to ``k``, run the existential k-pebble game before
-        backtracking; a Spoiler win refutes the instance outright
-        (sound by Theorem 4.8's easy direction).
-    """
-    # 1. Schaefer targets (Section 3).
-    if target.is_boolean:
-        classes = classify_structure(target)
-        if classes & SchaeferClass.ZERO_VALID:
-            return Solution(
-                {e: 0 for e in source.universe}, "zero-valid"
-            )
-        if classes & SchaeferClass.ONE_VALID:
-            return Solution(
-                {e: 1 for e in source.universe}, "one-valid"
-            )
-        if classes & SchaeferClass.HORN:
-            return Solution(solve_horn_csp(source, target), "horn-direct")
-        if classes & SchaeferClass.DUAL_HORN:
-            return Solution(
-                solve_dual_horn_csp(source, target), "dual-horn-direct"
-            )
-        if classes & SchaeferClass.BIJUNCTIVE:
-            return Solution(
-                solve_bijunctive_csp(source, target), "bijunctive-direct"
-            )
-        if classes & SchaeferClass.AFFINE:
-            return Solution(
-                solve_schaefer_csp(source, target), "affine-gf2"
-            )
-
-    # 2. Bounded-treewidth sources (Section 5).
-    decomposition = decompose(source)
-    if decomposition.width <= width_threshold:
-        return Solution(
-            solve_by_treewidth(source, target, decomposition),
-            f"treewidth-dp(width={decomposition.width})",
-        )
-
-    # 3. Optional pebble-game refutation (Section 4).
-    if try_pebble_refutation is not None:
-        if spoiler_wins(source, target, try_pebble_refutation):
-            return Solution(
-                None, f"pebble-refutation(k={try_pebble_refutation})"
-            )
-
-    # 4. General case.
-    return Solution(
-        solve_backtracking(source, target), "backtracking"
-    )
+__all__ = [
+    "DEFAULT_WIDTH_THRESHOLD",
+    "Solution",
+    "SolveStats",
+    "solve",
+    "solve_many",
+]

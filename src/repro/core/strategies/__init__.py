@@ -1,0 +1,54 @@
+"""The built-in routes of the uniform solver, one module per island.
+
+Each module implements the :class:`repro.core.pipeline.Strategy` protocol
+for one of the paper's tractable cases (plus the two total fallbacks).
+:func:`default_strategies` assembles them in the seed dispatcher's
+preference order — the order is semantic: Schaefer targets are checked
+trivial-first (a 0-valid target needs no search at all), structure-based
+routes come before search, and backtracking is the total fallback.
+
+Adding an island is a drop-in: write a module with an ``applies``/``run``
+class and splice an instance in via :meth:`SolverPipeline.register`.
+"""
+
+from __future__ import annotations
+
+from repro.core.strategies.affine import AffineStrategy
+from repro.core.strategies.backtracking import BacktrackingStrategy
+from repro.core.strategies.bijunctive import BijunctiveStrategy
+from repro.core.strategies.dual_horn import DualHornStrategy
+from repro.core.strategies.horn import HornStrategy
+from repro.core.strategies.pebble import PebbleRefutationStrategy
+from repro.core.strategies.treewidth import TreewidthStrategy
+from repro.core.strategies.trivial import (
+    OneValidStrategy,
+    ZeroValidStrategy,
+)
+
+__all__ = [
+    "AffineStrategy",
+    "BacktrackingStrategy",
+    "BijunctiveStrategy",
+    "DualHornStrategy",
+    "HornStrategy",
+    "OneValidStrategy",
+    "PebbleRefutationStrategy",
+    "TreewidthStrategy",
+    "ZeroValidStrategy",
+    "default_strategies",
+]
+
+
+def default_strategies():
+    """Fresh instances of the built-in routes, in dispatch order."""
+    return [
+        ZeroValidStrategy(),
+        OneValidStrategy(),
+        HornStrategy(),
+        DualHornStrategy(),
+        BijunctiveStrategy(),
+        AffineStrategy(),
+        TreewidthStrategy(),
+        PebbleRefutationStrategy(),
+        BacktrackingStrategy(),
+    ]

@@ -1,0 +1,30 @@
+"""The total fallback: MRV backtracking search.
+
+The general homomorphism problem is NP-complete (Section 2), so the
+pipeline ends with a route that applies to everything: arc-consistency
+preprocessing plus backtracking with dynamic variable ordering.
+"""
+
+from __future__ import annotations
+
+from repro.core.pipeline import Solution, SolveContext
+from repro.csp.backtracking import solve_backtracking
+from repro.structures.structure import Structure
+
+__all__ = ["BacktrackingStrategy"]
+
+
+class BacktrackingStrategy:
+    """Decide any instance by backtracking search (the NP baseline)."""
+
+    name = "backtracking"
+
+    def applies(
+        self, source: Structure, target: Structure, context: SolveContext
+    ) -> bool:
+        return True
+
+    def run(
+        self, source: Structure, target: Structure, context: SolveContext
+    ) -> Solution:
+        return Solution(solve_backtracking(source, target), self.name)

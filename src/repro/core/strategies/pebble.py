@@ -1,0 +1,50 @@
+"""The pebble-game route: sound (incomplete) refutation via k-consistency.
+
+Section 4: if the Spoiler wins the existential k-pebble game on (A, B),
+then certainly A ↛ B — and for targets whose cCSP is k-Datalog-expressible
+this test is also complete (Theorem 4.8).  The route is opt-in (set
+``try_pebble_refutation=k``) and only *applies* when the Spoiler actually
+wins, so it never claims an instance it cannot decide; otherwise the
+pipeline falls through to backtracking, exactly like the seed dispatcher.
+"""
+
+from __future__ import annotations
+
+from repro.core.pipeline import Solution, SolveContext
+from repro.pebble.game import spoiler_wins
+from repro.structures.structure import Structure
+
+__all__ = ["PebbleRefutationStrategy"]
+
+
+class PebbleRefutationStrategy:
+    """Refute instances on which the Spoiler wins the k-pebble game."""
+
+    name = "pebble-refutation"
+
+    def applies(
+        self, source: Structure, target: Structure, context: SolveContext
+    ) -> bool:
+        if context.pebble_k is None:
+            return False
+        won = spoiler_wins(source, target, context.pebble_k)
+        context.scratch["spoiler_wins"] = won
+        return won
+
+    def run(
+        self, source: Structure, target: Structure, context: SolveContext
+    ) -> Solution:
+        if context.pebble_k is None:
+            raise RuntimeError(
+                "pebble refutation needs a pebble count; "
+                "set try_pebble_refutation=k"
+            )
+        won = context.scratch.get("spoiler_wins")
+        if won is None:  # run() called without applies(): play the game now
+            won = spoiler_wins(source, target, context.pebble_k)
+        if not won:
+            raise RuntimeError(
+                "pebble refutation ran without a Spoiler win; "
+                "it cannot decide this instance"
+            )
+        return Solution(None, f"{self.name}(k={context.pebble_k})")

@@ -1,0 +1,38 @@
+"""The bounded-treewidth route: the Theorem 5.4 dynamic program.
+
+If a greedy decomposition of the *source* has width at most the
+configured threshold, the homomorphism problem is decided by dynamic
+programming over the decomposition in time O(‖B‖^{w+1}) — polynomial for
+each fixed width.  The decomposition is computed via the pipeline's
+structure cache, so a source reused across solves is decomposed once.
+"""
+
+from __future__ import annotations
+
+from repro.core.pipeline import Solution, SolveContext
+from repro.structures.structure import Structure
+from repro.treewidth.dp import solve_by_treewidth
+
+__all__ = ["TreewidthStrategy"]
+
+
+class TreewidthStrategy:
+    """Route low-width sources to the treewidth dynamic program."""
+
+    name = "treewidth-dp"
+
+    def applies(
+        self, source: Structure, target: Structure, context: SolveContext
+    ) -> bool:
+        return (
+            context.decomposition(source).width <= context.width_threshold
+        )
+
+    def run(
+        self, source: Structure, target: Structure, context: SolveContext
+    ) -> Solution:
+        decomposition = context.decomposition(source)
+        return Solution(
+            solve_by_treewidth(source, target, decomposition),
+            f"{self.name}(width={decomposition.width})",
+        )

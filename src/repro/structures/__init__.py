@@ -11,6 +11,7 @@ from repro.structures.binary_encoding import (
     binary_vocabulary,
     coincidence_symbol,
 )
+from repro.structures.fingerprint import canonical_fingerprint
 from repro.structures.gaifman import (
     gaifman_graph,
     incidence_graph,
@@ -62,6 +63,7 @@ __all__ = [
     "Structure",
     "StructureBuilder",
     "SearchStats",
+    "canonical_fingerprint",
     "is_homomorphism",
     "find_homomorphism",
     "homomorphism_exists",

@@ -1,0 +1,64 @@
+"""Canonical structure fingerprints for cross-call caching.
+
+The pipeline in :mod:`repro.core.pipeline` memoizes expensive per-structure
+analyses (Schaefer classification of targets, greedy tree decompositions of
+sources) across solve calls.  Python's ``hash()`` is unsuitable as a cache
+key: it is salted per process for strings and collides freely.  This module
+derives a stable hex digest from a canonical serialization of a structure —
+two structures get the same fingerprint iff they are equal as structures
+(same vocabulary, universe, and relations), independent of construction
+order or process.
+
+Elements of a universe are arbitrary hashables, so they are serialized as
+``(qualified type name, repr)`` tokens — the fully qualified type (module
+plus qualname, stricter than the bare type name the deterministic sort
+order uses) so that same-named classes from different modules cannot make
+unequal structures collide.  Distinct elements of the very same type with
+identical reprs would still collide, but a repr that hides a value's
+identity breaks Python's own conventions first.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+from repro.structures.structure import Structure
+
+__all__ = ["canonical_fingerprint"]
+
+
+def _token(value: Any) -> bytes:
+    kind = f"{type(value).__module__}.{type(value).__qualname__}"
+    text = repr(value)
+    return f"{len(kind)}:{kind}{len(text)}:{text}".encode()
+
+
+def canonical_fingerprint(structure: Structure) -> str:
+    """A stable hex digest identifying ``structure`` up to equality.
+
+    The digest covers the vocabulary (names and arities), the universe,
+    and every fact of every relation, all in deterministic order, with
+    length-prefixed tokens so concatenation is unambiguous.  The result
+    is memoized on the (immutable) structure, so repeated cache lookups
+    against the same object hash its serialization only once.
+    """
+    cached = structure._fingerprint
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256()
+    for symbol in structure.vocabulary:
+        digest.update(_token(symbol.name))
+        digest.update(_token(symbol.arity))
+    digest.update(b"|universe|")
+    for element in structure.sorted_universe:
+        digest.update(_token(element))
+    digest.update(b"|facts|")
+    for name, fact in structure.facts():
+        digest.update(_token(name))
+        for element in fact:
+            digest.update(_token(element))
+        digest.update(b";")
+    result = digest.hexdigest()
+    structure._fingerprint = result
+    return result

@@ -50,7 +50,13 @@ class Structure:
         ``{name: iterable of tuples}``.  Tuple widths must match arities.
     """
 
-    __slots__ = ("_vocabulary", "_universe", "_relations", "_hash")
+    __slots__ = (
+        "_vocabulary",
+        "_universe",
+        "_relations",
+        "_hash",
+        "_fingerprint",
+    )
 
     def __init__(
         self,
@@ -84,6 +90,8 @@ class Structure:
         self._universe = frozenset(elements)
         self._relations = cleaned
         self._hash: int | None = None
+        #: Memo for repro.structures.fingerprint.canonical_fingerprint.
+        self._fingerprint: str | None = None
 
     # -- basic accessors -----------------------------------------------------
 

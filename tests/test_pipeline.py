@@ -1,0 +1,484 @@
+"""Tests for the pluggable solver pipeline (repro.core.pipeline).
+
+Covers: each built-in strategy's ``applies()`` on hand-built structures,
+routing order vs the seed dispatcher, fingerprint-cache behaviour,
+``solve_many`` vs per-instance ``solve``, the registry operations, and
+backward compatibility of the ``repro.core.solver`` façade.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.pipeline import (
+    DEFAULT_WIDTH_THRESHOLD,
+    Solution,
+    SolveContext,
+    SolverPipeline,
+    Strategy,
+    StructureCache,
+    default_pipeline,
+)
+from repro.core.strategies import (
+    AffineStrategy,
+    BacktrackingStrategy,
+    BijunctiveStrategy,
+    DualHornStrategy,
+    HornStrategy,
+    OneValidStrategy,
+    PebbleRefutationStrategy,
+    TreewidthStrategy,
+    ZeroValidStrategy,
+    default_strategies,
+)
+from repro.boolean.booleanize import booleanize
+from repro.structures.fingerprint import canonical_fingerprint
+from repro.structures.graphs import (
+    clique,
+    cycle,
+    directed_cycle,
+    random_digraph,
+)
+from repro.structures.homomorphism import (
+    homomorphism_exists,
+    is_homomorphism,
+)
+from repro.structures.structure import Structure
+from repro.structures.vocabulary import Vocabulary
+
+from conftest import structure_pairs
+
+BINARY = Vocabulary.from_arities({"R": 2})
+
+#: The seed dispatcher's routing order, which the pipeline must preserve.
+SEED_ORDER = (
+    "zero-valid",
+    "one-valid",
+    "horn-direct",
+    "dual-horn-direct",
+    "bijunctive-direct",
+    "affine-gf2",
+    "treewidth-dp",
+    "pebble-refutation",
+    "backtracking",
+)
+
+
+def boolean_target(*facts: tuple[int, int]) -> Structure:
+    return Structure(BINARY, {0, 1}, {"R": set(facts)})
+
+
+def binary_source(n: int) -> Structure:
+    """A directed n-cycle over the same vocabulary as boolean_target."""
+    return Structure(
+        BINARY, range(n), {"R": {(i, (i + 1) % n) for i in range(n)}}
+    )
+
+
+def context(**kwargs) -> SolveContext:
+    return SolveContext(cache=StructureCache(), **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# applies() of each built-in strategy on hand-built structures
+# ---------------------------------------------------------------------------
+
+class TestApplies:
+    def test_zero_valid(self):
+        target = boolean_target((0, 0), (0, 1))
+        source = Structure(BINARY, range(3), {"R": {(0, 1)}})
+        assert ZeroValidStrategy().applies(source, target, context())
+        assert not OneValidStrategy().applies(source, target, context())
+
+    def test_one_valid(self):
+        target = boolean_target((1, 1), (0, 1))
+        source = Structure(BINARY, range(3), {"R": {(0, 1)}})
+        assert OneValidStrategy().applies(source, target, context())
+        assert not ZeroValidStrategy().applies(source, target, context())
+
+    def test_horn(self):
+        # {(0,1), (1,1)} is closed under coordinatewise AND
+        target = boolean_target((0, 1), (1, 1))
+        source = binary_source(4)
+        assert HornStrategy().applies(source, target, context())
+
+    def test_dual_horn(self):
+        # {(0,0), (0,1)} is closed under coordinatewise OR
+        target = boolean_target((0, 0), (0, 1))
+        source = binary_source(4)
+        assert DualHornStrategy().applies(source, target, context())
+
+    def test_bijunctive_and_affine_on_disequality(self):
+        # x != y is majority-closed and affine (x + y = 1 over GF(2))
+        target = boolean_target((0, 1), (1, 0))
+        source = binary_source(4)
+        assert BijunctiveStrategy().applies(source, target, context())
+        assert AffineStrategy().applies(source, target, context())
+
+    def test_boolean_strategies_reject_non_boolean_targets(self):
+        source, target = cycle(4), clique(3)
+        for strategy in (
+            ZeroValidStrategy(),
+            OneValidStrategy(),
+            HornStrategy(),
+            DualHornStrategy(),
+            BijunctiveStrategy(),
+            AffineStrategy(),
+        ):
+            assert not strategy.applies(source, target, context())
+
+    def test_treewidth_width_threshold(self):
+        ctx = context(width_threshold=DEFAULT_WIDTH_THRESHOLD)
+        assert TreewidthStrategy().applies(cycle(6), clique(3), ctx)
+        tight = context(width_threshold=2)
+        assert not TreewidthStrategy().applies(clique(6), clique(6), tight)
+
+    def test_pebble_opt_in(self):
+        assert not PebbleRefutationStrategy().applies(
+            clique(4), clique(3), context()
+        )
+
+    def test_pebble_applies_only_when_spoiler_wins(self):
+        # K4 -> K3 is 3-consistent, so the Spoiler needs all 4 pebbles
+        assert PebbleRefutationStrategy().applies(
+            clique(4), clique(3), context(pebble_k=4)
+        )
+        assert not PebbleRefutationStrategy().applies(
+            clique(4), clique(3), context(pebble_k=2)
+        )
+
+    def test_backtracking_is_total(self):
+        assert BacktrackingStrategy().applies(
+            clique(6), clique(6), context()
+        )
+
+    def test_pebble_run_without_applies_replays_the_game(self):
+        # run() called directly must not fabricate a refutation
+        strategy = PebbleRefutationStrategy()
+        winning = context(pebble_k=4)
+        assert strategy.run(clique(4), clique(3), winning).homomorphism is None
+        losing = context(pebble_k=2)
+        with pytest.raises(RuntimeError):
+            strategy.run(clique(4), clique(3), losing)
+        with pytest.raises(RuntimeError):
+            strategy.run(clique(4), clique(3), context())  # no pebble count
+
+
+# ---------------------------------------------------------------------------
+# Routing matches the seed dispatcher
+# ---------------------------------------------------------------------------
+
+class TestRouting:
+    def test_default_order_is_the_seed_order(self):
+        assert SolverPipeline().strategy_names == SEED_ORDER
+        assert tuple(
+            s.name for s in default_strategies()
+        ) == SEED_ORDER
+
+    def test_trivial_routing(self):
+        target = boolean_target((0, 0))
+        source = Structure(BINARY, range(3), {"R": {(0, 1)}})
+        solution = SolverPipeline().solve(source, target)
+        assert solution.strategy == "zero-valid"
+        assert solution.exists
+
+    def test_affine_routing(self):
+        bz = booleanize(random_digraph(5, 0.3, seed=1), directed_cycle(4))
+        solution = SolverPipeline().solve(bz.source, bz.target)
+        assert solution.strategy == "affine-gf2"
+
+    def test_treewidth_routing(self):
+        solution = SolverPipeline().solve(cycle(6), clique(3))
+        assert solution.strategy.startswith("treewidth-dp")
+        assert solution.exists
+
+    def test_backtracking_fallback(self):
+        solution = SolverPipeline().solve(
+            clique(6), clique(6), width_threshold=2
+        )
+        assert solution.strategy == "backtracking"
+        assert solution.exists
+
+    def test_pebble_refutation(self):
+        solution = SolverPipeline().solve(
+            clique(4), clique(3), width_threshold=1,
+            try_pebble_refutation=4,
+        )
+        assert solution.strategy == "pebble-refutation(k=4)"
+        assert not solution.exists
+
+    def test_pebble_fall_through(self):
+        solution = SolverPipeline().solve(
+            clique(4), clique(3), width_threshold=1,
+            try_pebble_refutation=2,
+        )
+        assert solution.strategy == "backtracking"
+        assert not solution.exists
+
+    def test_attempted_is_a_prefix_of_the_registry(self):
+        pipeline = SolverPipeline()
+        solution = pipeline.solve(cycle(6), clique(3))
+        attempted = solution.stats.attempted
+        assert attempted == pipeline.strategy_names[: len(attempted)]
+        # the last consulted strategy is the one that ran
+        assert solution.strategy.startswith(attempted[-1])
+
+    @given(structure_pairs(max_elements=4, max_facts=5))
+    @settings(max_examples=40, deadline=None)
+    def test_always_correct(self, pair):
+        a, b = pair
+        solution = SolverPipeline().solve(a, b)
+        assert solution.exists == homomorphism_exists(a, b)
+        if solution.exists:
+            assert is_homomorphism(solution.homomorphism, a, b)
+
+
+# ---------------------------------------------------------------------------
+# The fingerprint cache
+# ---------------------------------------------------------------------------
+
+class TestCache:
+    def test_repeated_boolean_target_hits(self):
+        pipeline = SolverPipeline()
+        target = boolean_target((0, 1), (1, 0))
+        first = pipeline.solve(binary_source(4), target)
+        assert first.stats.cache_misses >= 1
+        assert first.stats.cache_hits == 0
+        second = pipeline.solve(binary_source(6), target)
+        assert second.stats.cache_hits >= 1
+        assert second.stats.cache_misses == 0
+
+    def test_structurally_equal_targets_share_cache_entries(self):
+        pipeline = SolverPipeline()
+        pipeline.solve(binary_source(4), boolean_target((0, 1), (1, 0)))
+        # a separately-built but equal target must hit, not miss
+        rebuilt = boolean_target((1, 0), (0, 1))
+        solution = pipeline.solve(binary_source(4), rebuilt)
+        assert solution.stats.cache_hits >= 1
+        assert solution.stats.cache_misses == 0
+
+    def test_repeated_source_decomposition_hits(self):
+        pipeline = SolverPipeline()
+        pipeline.solve(cycle(6), clique(3))
+        again = pipeline.solve(cycle(6), clique(4))
+        assert again.stats.cache_hits >= 1
+
+    def test_fingerprint_is_canonical(self):
+        a = boolean_target((0, 1), (1, 0))
+        b = boolean_target((1, 0), (0, 1))
+        assert canonical_fingerprint(a) == canonical_fingerprint(b)
+        c = boolean_target((0, 1))
+        assert canonical_fingerprint(a) != canonical_fingerprint(c)
+
+    def test_lru_eviction_is_bounded(self):
+        cache = StructureCache(maxsize=2)
+        targets = [
+            boolean_target((0, 1)),
+            boolean_target((1, 0)),
+            boolean_target((1, 1)),
+        ]
+        for target in targets:
+            cache.classification(target)
+        # the first target was evicted: re-asking misses again
+        misses_before = cache.stats.misses
+        cache.classification(targets[0])
+        assert cache.stats.misses == misses_before + 1
+        # the most recent one is still cached
+        hits_before = cache.stats.hits
+        cache.classification(targets[2])
+        assert cache.stats.hits == hits_before + 1
+
+    def test_invalid_maxsize_rejected(self):
+        with pytest.raises(ValueError):
+            StructureCache(maxsize=0)
+
+    def test_context_memo_distinguishes_structures(self):
+        ctx = context()
+        horn = boolean_target((0, 1), (1, 1))
+        zero = boolean_target((0, 0))
+        first = ctx.classification(horn)
+        second = ctx.classification(zero)
+        assert first != second
+        # and repeated asks stay memoized per structure
+        assert ctx.classification(horn) == first
+
+    def test_clear_resets_counters_and_entries(self):
+        cache = StructureCache()
+        cache.classification(boolean_target((0, 1)))
+        assert len(cache) == 1
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 0
+        assert cache.stats.misses == 0
+
+    def test_isolated_pipelines_do_not_share_cache(self):
+        target = boolean_target((0, 1), (1, 0))
+        SolverPipeline().solve(binary_source(4), target)
+        fresh = SolverPipeline().solve(binary_source(4), target)
+        assert fresh.stats.cache_hits == 0
+
+    def test_default_pipeline_shares_one_cache(self):
+        target = boolean_target(
+            (0, 1), (1, 0), (1, 1)
+        )
+        from repro.core.pipeline import solve as module_solve
+
+        module_solve(binary_source(4), target)
+        warm = module_solve(binary_source(6), target)
+        assert warm.stats.cache_hits >= 1
+        assert default_pipeline() is default_pipeline()
+
+
+# ---------------------------------------------------------------------------
+# The batch API
+# ---------------------------------------------------------------------------
+
+class TestSolveMany:
+    def test_agrees_with_per_instance_solve(self):
+        pairs = [
+            (cycle(4), clique(2)),
+            (cycle(5), clique(2)),
+            (cycle(6), clique(3)),
+            (clique(4), clique(3)),
+        ]
+        batch = SolverPipeline().solve_many(pairs)
+        singles = [SolverPipeline().solve(s, t) for s, t in pairs]
+        assert len(batch) == len(singles)
+        for got, want in zip(batch, singles):
+            assert got.strategy == want.strategy
+            assert got.exists == want.exists
+
+    def test_results_in_input_order(self):
+        pairs = [
+            (cycle(6), clique(3)),   # sat, treewidth
+            (cycle(5), clique(2)),   # unsat, boolean
+            (cycle(4), clique(2)),   # sat, boolean
+        ]
+        results = SolverPipeline().solve_many(pairs)
+        assert [r.exists for r in results] == [True, False, True]
+
+    def test_shared_targets_classified_once(self):
+        target = boolean_target((0, 1), (1, 0))
+        pairs = [(binary_source(n), target) for n in (3, 4, 5, 6)]
+        results = SolverPipeline().solve_many(pairs)
+        # one miss for the first instance of the group, hits afterwards
+        assert sum(r.stats.cache_misses for r in results) == 1
+        assert all(r.stats.cache_hits >= 1 for r in results[1:])
+
+    def test_empty_batch(self):
+        assert SolverPipeline().solve_many([]) == []
+
+    def test_options_forwarded(self):
+        results = SolverPipeline().solve_many(
+            [(clique(4), clique(3))],
+            width_threshold=1,
+            try_pebble_refutation=4,
+        )
+        assert results[0].strategy == "pebble-refutation(k=4)"
+
+
+# ---------------------------------------------------------------------------
+# Registry operations
+# ---------------------------------------------------------------------------
+
+class _ConstantStrategy:
+    """Test double: claims every instance, maps everything to ``value``."""
+
+    def __init__(self, name="constant", value=0):
+        self.name = name
+        self.value = value
+
+    def applies(self, source, target, context):
+        return True
+
+    def run(self, source, target, context):
+        return Solution(
+            {e: self.value for e in source.universe}, self.name
+        )
+
+
+class TestRegistry:
+    def test_register_default_appends(self):
+        pipeline = SolverPipeline()
+        pipeline.register(_ConstantStrategy())
+        assert pipeline.strategy_names[-1] == "constant"
+
+    def test_register_before_takes_priority(self):
+        pipeline = SolverPipeline()
+        pipeline.register(_ConstantStrategy(), before="zero-valid")
+        solution = pipeline.solve(cycle(4), clique(2))
+        assert solution.strategy == "constant"
+
+    def test_register_after(self):
+        pipeline = SolverPipeline()
+        pipeline.register(_ConstantStrategy(), after="treewidth-dp")
+        names = pipeline.strategy_names
+        assert names.index("constant") == names.index("treewidth-dp") + 1
+
+    def test_register_before_and_after_rejected(self):
+        with pytest.raises(ValueError):
+            SolverPipeline().register(
+                _ConstantStrategy(), before="zero-valid", after="one-valid"
+            )
+
+    def test_unregister(self):
+        pipeline = SolverPipeline()
+        removed = pipeline.unregister("treewidth-dp")
+        assert removed.name == "treewidth-dp"
+        assert "treewidth-dp" not in pipeline.strategy_names
+        # without the treewidth route, C6 -> K3 falls to backtracking
+        assert pipeline.solve(cycle(6), clique(3)).strategy == "backtracking"
+
+    def test_unregister_unknown_raises(self):
+        with pytest.raises(KeyError):
+            SolverPipeline().unregister("no-such-strategy")
+
+    def test_strategies_satisfy_the_protocol(self):
+        for strategy in default_strategies():
+            assert isinstance(strategy, Strategy)
+
+
+# ---------------------------------------------------------------------------
+# The solver façade stays backward compatible
+# ---------------------------------------------------------------------------
+
+class TestFacade:
+    def test_seed_imports_still_work(self):
+        from repro.core.solver import (  # noqa: F401
+            DEFAULT_WIDTH_THRESHOLD,
+            Solution,
+            solve,
+        )
+
+    def test_solution_positional_construction(self):
+        from repro.core.solver import Solution as FacadeSolution
+
+        solution = FacadeSolution({0: 1}, "test")
+        assert solution.exists
+        assert solution.stats is None
+        assert not FacadeSolution(None, "test").exists
+
+    def test_facade_solve_matches_pipeline(self):
+        from repro.core.solver import solve as facade_solve
+
+        facade = facade_solve(cycle(6), clique(3))
+        fresh = SolverPipeline().solve(cycle(6), clique(3))
+        assert facade.strategy == fresh.strategy
+        assert facade.exists == fresh.exists
+
+    def test_facade_accepts_seed_keywords(self):
+        from repro.core.solver import solve as facade_solve
+
+        solution = facade_solve(
+            clique(4), clique(3), width_threshold=1,
+            try_pebble_refutation=2,
+        )
+        assert solution.strategy == "backtracking"
+
+    def test_facade_solve_attaches_stats(self):
+        from repro.core.solver import solve as facade_solve
+
+        solution = facade_solve(cycle(4), clique(2))
+        assert solution.stats is not None
+        assert "total" in solution.stats.timings
