@@ -1,21 +1,28 @@
 #!/usr/bin/env python3
-"""Print the experiment report: one table per experiment E1–E15, plus P1.
+"""Print the experiment report: one table per experiment E1–E15, P1, P2.
 
 This is the "rows/series" harness of EXPERIMENTS.md: each table reports
 wall-clock medians for every algorithm on the shared workloads of
 ``_workloads.py``, so the shapes (who wins, scaling trend, crossovers)
 can be read off directly.  pytest-benchmark gives the statistically
 careful numbers; this runner gives the at-a-glance reproduction report.
-P1 exercises the solver pipeline itself: routing overhead and the
-amortization won by the fingerprint cache and ``solve_many``.
+P1 exercises the solver pipeline itself (routing overhead, fingerprint
+cache, ``solve_many``); P2 compares the compiled bitset kernel against
+the legacy pure-dict solver on the backtracking-heavy workloads.
 
-Run:  python benchmarks/run_all.py [--repeat 3]
+Run:  python benchmarks/run_all.py [--repeat 3] [--json out.json]
+
+``--json`` additionally dumps every table's medians (raw numbers, not
+the formatted strings) to a JSON file, so perf snapshots can be
+committed and compared across commits (see BENCH_kernel.json).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import statistics
+import sys
 import time
 
 import _paths  # noqa: F401  (puts src/ and benchmarks/ on sys.path)
@@ -55,6 +62,9 @@ from repro.treewidth.dp import solve_by_treewidth  # noqa: E402
 
 REPEAT = 3
 
+#: Tables recorded by ``table()`` for the optional ``--json`` dump.
+REPORT: list[dict] = []
+
 
 def timed(fn, *args, **kwargs) -> float:
     """Median wall-clock milliseconds over REPEAT runs."""
@@ -66,7 +76,26 @@ def timed(fn, *args, **kwargs) -> float:
     return statistics.median(samples)
 
 
+class _Cell(str):
+    """A formatted cell that remembers the raw number for the JSON dump."""
+
+    raw: float
+
+
 def table(title: str, header: list[str], rows: list[list]) -> None:
+    REPORT.append(
+        {
+            "title": title,
+            "header": list(header),
+            "rows": [
+                [
+                    cell.raw if isinstance(cell, _Cell) else cell
+                    for cell in row
+                ]
+                for row in rows
+            ],
+        }
+    )
     print(f"\n### {title}")
     widths = [
         max(len(str(header[i])), *(len(str(r[i])) for r in rows))
@@ -79,8 +108,16 @@ def table(title: str, header: list[str], rows: list[list]) -> None:
         print(" | ".join(str(c).ljust(w) for c, w in zip(row, widths)))
 
 
-def ms(value: float) -> str:
-    return f"{value:8.2f}ms"
+def ms(value: float) -> _Cell:
+    cell = _Cell(f"{value:8.2f}ms")
+    cell.raw = value
+    return cell
+
+
+def ratio(value: float) -> _Cell:
+    cell = _Cell(f"{value:6.1f}x")
+    cell.raw = value
+    return cell
 
 
 def e01() -> None:
@@ -358,19 +395,80 @@ def p01() -> None:
     )
 
 
+def p02() -> None:
+    """The compiled kernel vs the legacy solver, backtracking-heavy only."""
+    from repro.kernel import use_engine
+
+    graph = random_graph(18, 0.5, seed=99)
+    coloring_8 = W.two_coloring_instance(8, seed=8)
+    coloring_64 = W.two_coloring_instance(64, seed=64)
+    q1, q2 = W.containment_pair(6, seed=6)
+    workloads = [
+        (
+            "E8 2-coloring n=8",
+            lambda: solve_backtracking(*coloring_8),
+        ),
+        (
+            "E8 2-coloring n=64",
+            lambda: solve_backtracking(*coloring_64),
+        ),
+        (
+            "E13 K5 into G(18,.5)",
+            lambda: solve_backtracking(clique(5), graph),
+        ),
+        (
+            "E13 K6 into G(18,.5)",
+            lambda: solve_backtracking(clique(6), graph),
+        ),
+        (
+            "E14 containment #preds=6",
+            lambda: contains(q1, q2),
+        ),
+    ]
+    rows = []
+    for label, fn in workloads:
+        with use_engine("kernel"):
+            kernel = timed(fn)
+        with use_engine("legacy"):
+            legacy = timed(fn)
+        rows.append([label, ms(kernel), ms(legacy), ratio(legacy / kernel)])
+    table(
+        "P2 compiled kernel vs legacy solver (backtracking-heavy)",
+        ["workload", "kernel", "legacy", "speedup"],
+        rows,
+    )
+
+
 def main() -> None:
     global REPEAT
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="dump every table's medians (raw numbers) to this JSON file",
+    )
     args = parser.parse_args()
     REPEAT = max(1, args.repeat)
     print("Experiment report — Kolaitis & Vardi reproduction")
     print("(median wall-clock per call; see EXPERIMENTS.md for shapes)")
     for experiment in (
         e01, e03, e04, e05_e06, e07, e08, e09, e10_e11, e12, e13, e14,
-        e15, p01,
+        e15, p01, p02,
     ):
         experiment()
+    if args.json is not None:
+        payload = {
+            "report": "Kolaitis & Vardi reproduction",
+            "repeat": REPEAT,
+            "python": sys.version.split()[0],
+            "tables": REPORT,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"\n(wrote {len(REPORT)} tables to {args.json})")
 
 
 if __name__ == "__main__":

@@ -32,6 +32,7 @@ from repro.core.pipeline import (
     solve,
     solve_many,
 )
+from repro.kernel.engine import set_default_engine, use_engine
 from repro.core.problem import HomomorphismProblem
 from repro.cq.containment import (
     containment_witness,
@@ -86,4 +87,7 @@ __all__ = [
     "default_pipeline",
     "solve",
     "solve_many",
+    # the compiled kernel's engine flag (kernel vs legacy oracle)
+    "set_default_engine",
+    "use_engine",
 ]

@@ -46,6 +46,7 @@ from typing import (
 
 from repro.boolean.schaefer import SchaeferClass, classify_structure
 from repro.exceptions import VocabularyError
+from repro.kernel.compile import CompiledTarget, compile_target
 from repro.structures.fingerprint import canonical_fingerprint
 from repro.structures.structure import Structure
 from repro.treewidth.decomposition import TreeDecomposition
@@ -137,13 +138,16 @@ class StructureCache:
 
     Keys are canonical fingerprints (:func:`canonical_fingerprint`), so a
     structurally equal target built twice — e.g. re-parsed from JSON — still
-    hits.  Two analyses are cached because they are the two the dispatcher
-    recomputed per call in the seed:
+    hits.  Three analyses are cached — the two the dispatcher recomputed
+    per call in the seed, plus the kernel compilation:
 
     * :meth:`classification` — the Schaefer classes of a Boolean target
       (Theorem 3.1's polynomial recognition, run once per target);
     * :meth:`decomposition` — the greedy tree decomposition of a source
-      (the Section 5 hypothesis test, run once per source).
+      (the Section 5 hypothesis test, run once per source);
+    * :meth:`compiled_target` — the bitset index of a target
+      (:class:`repro.kernel.CompiledTarget`), so ``solve_many`` amortizes
+      compilation across every instance sharing the target.
     """
 
     #: Default per-analysis entry bound; old entries are evicted LRU-first.
@@ -155,6 +159,7 @@ class StructureCache:
         self._maxsize = maxsize
         self._classifications: dict[str, SchaeferClass] = {}
         self._decompositions: dict[str, TreeDecomposition] = {}
+        self._compiled_targets: dict[str, CompiledTarget] = {}
         self._hits = 0
         self._misses = 0
 
@@ -163,12 +168,17 @@ class StructureCache:
         return CacheStats(self._hits, self._misses)
 
     def __len__(self) -> int:
-        return len(self._classifications) + len(self._decompositions)
+        return (
+            len(self._classifications)
+            + len(self._decompositions)
+            + len(self._compiled_targets)
+        )
 
     def clear(self) -> None:
         """Drop all cached analyses (counters included)."""
         self._classifications.clear()
         self._decompositions.clear()
+        self._compiled_targets.clear()
         self._hits = 0
         self._misses = 0
 
@@ -209,6 +219,14 @@ class StructureCache:
             lambda: decompose(source),
         )
 
+    def compiled_target(self, target: Structure) -> CompiledTarget:
+        """The (cached) kernel compilation of ``target``."""
+        return self._lookup(
+            self._compiled_targets,
+            canonical_fingerprint(target),
+            lambda: compile_target(target),
+        )
+
 
 # ---------------------------------------------------------------------------
 # Per-solve context
@@ -240,6 +258,9 @@ class SolveContext:
     _decompositions: dict[Structure, TreeDecomposition] = field(
         default_factory=dict, repr=False
     )
+    _compiled_targets: dict[Structure, CompiledTarget] = field(
+        default_factory=dict, repr=False
+    )
 
     def classification(self, target: Structure) -> SchaeferClass:
         """Schaefer classes of ``target``, via the cache, memoized per solve."""
@@ -252,6 +273,12 @@ class SolveContext:
         if source not in self._decompositions:
             self._decompositions[source] = self.cache.decomposition(source)
         return self._decompositions[source]
+
+    def compiled_target(self, target: Structure) -> CompiledTarget:
+        """Kernel compilation of ``target``, via the cache, memoized per solve."""
+        if target not in self._compiled_targets:
+            self._compiled_targets[target] = self.cache.compiled_target(target)
+        return self._compiled_targets[target]
 
 
 # ---------------------------------------------------------------------------

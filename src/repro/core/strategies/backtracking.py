@@ -2,13 +2,17 @@
 
 The general homomorphism problem is NP-complete (Section 2), so the
 pipeline ends with a route that applies to everything: arc-consistency
-preprocessing plus backtracking with dynamic variable ordering.
+preprocessing plus backtracking with dynamic variable ordering, run
+directly on the compiled bitset kernel.  The target's compilation comes
+from the fingerprint-keyed :class:`~repro.core.pipeline.StructureCache`
+via the solve context, so a batch of instances sharing a target compiles
+it once.
 """
 
 from __future__ import annotations
 
 from repro.core.pipeline import Solution, SolveContext
-from repro.csp.backtracking import solve_backtracking
+from repro.kernel.search import solve as kernel_solve
 from repro.structures.structure import Structure
 
 __all__ = ["BacktrackingStrategy"]
@@ -27,4 +31,7 @@ class BacktrackingStrategy:
     def run(
         self, source: Structure, target: Structure, context: SolveContext
     ) -> Solution:
-        return Solution(solve_backtracking(source, target), self.name)
+        if source.universe and not target.universe:
+            return Solution(None, self.name)
+        compiled = context.compiled_target(target)
+        return Solution(kernel_solve(source, compiled), self.name)

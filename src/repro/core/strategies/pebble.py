@@ -6,11 +6,17 @@ this test is also complete (Theorem 4.8).  The route is opt-in (set
 ``try_pebble_refutation=k``) and only *applies* when the Spoiler actually
 wins, so it never claims an instance it cannot decide; otherwise the
 pipeline falls through to backtracking, exactly like the seed dispatcher.
+
+For ``k = 2`` the game is played on the compiled bitset kernel
+(:func:`repro.kernel.spoiler_wins_k2` — arc consistency over pair
+supports, reusing the cached target compilation) instead of the generic
+O(n^{2k}) family fixpoint; the two verdicts agree on every instance.
 """
 
 from __future__ import annotations
 
 from repro.core.pipeline import Solution, SolveContext
+from repro.kernel.pebble2 import spoiler_wins_k2
 from repro.pebble.game import spoiler_wins
 from repro.structures.structure import Structure
 
@@ -22,12 +28,19 @@ class PebbleRefutationStrategy:
 
     name = "pebble-refutation"
 
+    def _spoiler_wins(
+        self, source: Structure, target: Structure, context: SolveContext
+    ) -> bool:
+        if context.pebble_k == 2:
+            return spoiler_wins_k2(source, context.compiled_target(target))
+        return spoiler_wins(source, target, context.pebble_k)
+
     def applies(
         self, source: Structure, target: Structure, context: SolveContext
     ) -> bool:
         if context.pebble_k is None:
             return False
-        won = spoiler_wins(source, target, context.pebble_k)
+        won = self._spoiler_wins(source, target, context)
         context.scratch["spoiler_wins"] = won
         return won
 
@@ -41,7 +54,7 @@ class PebbleRefutationStrategy:
             )
         won = context.scratch.get("spoiler_wins")
         if won is None:  # run() called without applies(): play the game now
-            won = spoiler_wins(source, target, context.pebble_k)
+            won = self._spoiler_wins(source, target, context)
         if not won:
             raise RuntimeError(
                 "pebble refutation ran without a Spoiler win; "

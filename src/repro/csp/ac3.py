@@ -7,6 +7,13 @@ pebble-game terminology of Section 4 — the ``k = 2`` member of the
 k-consistency family implemented in :mod:`repro.pebble.kconsistency` — and
 the standard preprocessing step of the AI solvers the paper's introduction
 cites [Dec92, Kum92].
+
+By default the propagation runs on the compiled bitset kernel
+(:mod:`repro.kernel.propagate`): integer-indexed domains, precompiled
+``(relation, position, value)`` support bitsets, AC-2001-style residual
+last supports.  The original rescan loop below remains the reference
+semantics, selectable with ``engine="legacy"``; both compute the same
+(unique) arc-consistent closure.
 """
 
 from __future__ import annotations
@@ -15,6 +22,9 @@ from collections import deque
 from typing import Hashable
 
 from repro.exceptions import VocabularyError
+from repro.kernel.compile import compile_source, compile_target
+from repro.kernel.engine import LEGACY, resolve_engine
+from repro.kernel.propagate import propagate
 from repro.structures.structure import Structure
 
 __all__ = ["establish_arc_consistency"]
@@ -27,6 +37,8 @@ def establish_arc_consistency(
     source: Structure,
     target: Structure,
     domains: Domains | None = None,
+    *,
+    engine: str | None = None,
 ) -> Domains | None:
     """Prune domains to (generalized) arc consistency.
 
@@ -36,6 +48,68 @@ def establish_arc_consistency(
     """
     if source.vocabulary != target.vocabulary:
         raise VocabularyError("instance structures must share a vocabulary")
+    if resolve_engine(engine) == LEGACY:
+        return _establish_legacy(source, target, domains)
+
+    csource = compile_source(source)
+    ctarget = compile_target(target)
+    value_index = ctarget.value_index
+
+    touched = [False] * len(csource.variables)
+    for _name, scope in csource.constraints:
+        for x in scope:
+            touched[x] = True
+
+    masks = [ctarget.full_mask] * len(csource.variables)
+    if domains is not None:
+        for x, variable in enumerate(csource.variables):
+            if variable in domains:
+                given = domains[variable]
+                mask = 0
+                for value in given:
+                    v = value_index.get(value)
+                    if v is not None:
+                        mask |= 1 << v
+                if not mask and given and touched[x]:
+                    # Every given value lies outside the target universe:
+                    # the reference loop prunes them all and reports the
+                    # wipe-out.  (A given *empty* set is never pruned, so
+                    # it passes through below instead.)
+                    return None
+                masks[x] = mask
+            elif touched[x]:
+                # The reference loop indexes domains[element] for every
+                # element occurring in a fact; fail the same way.
+                raise KeyError(variable)
+
+    if propagate(csource, ctarget, masks) is None:
+        return None
+
+    # Untouched elements are never pruned: their (possibly custom, even
+    # out-of-universe) domains pass through verbatim, as in the reference.
+    var_index = csource.var_index
+    if domains is None:
+        full = set(target.universe)
+        return {
+            variable: ctarget.decode(masks[x]) if touched[x] else set(full)
+            for x, variable in enumerate(csource.variables)
+        }
+    result: Domains = {}
+    for element, given in domains.items():
+        x = var_index.get(element)
+        if x is not None and touched[x]:
+            result[element] = ctarget.decode(masks[x])
+        else:
+            result[element] = set(given)
+    return result
+
+
+def _establish_legacy(
+    source: Structure,
+    target: Structure,
+    domains: Domains | None = None,
+) -> Domains | None:
+    """The reference AC-3 rescan loop (the kernel's parity oracle)."""
     if domains is None:
         domains = {e: set(target.universe) for e in source.universe}
     else:

@@ -5,6 +5,13 @@ standard AI toolkit: optional arc-consistency preprocessing, a degree
 (static) variable-ordering heuristic, and AI-instance entry points.  This
 is the NP-complete general-case baseline against which every tractable
 class in the paper is benchmarked.
+
+On the default kernel engine the facade runs end-to-end on the compiled
+bitset representation: one compilation (memoized per structure) feeds the
+GAC preprocessing pass *and* the search, and the propagated domains are
+kept for the search instead of being recomputed.  ``engine="legacy"``
+restores the reference behaviour — AC-3 used purely as a bail-out, then
+a from-scratch search — as the parity oracle.
 """
 
 from __future__ import annotations
@@ -13,8 +20,12 @@ from typing import Hashable
 
 from repro.csp.ac3 import establish_arc_consistency
 from repro.csp.instance import CSPInstance
+from repro.exceptions import VocabularyError
+from repro.kernel.compile import compile_source
+from repro.kernel.engine import LEGACY, resolve_engine
+from repro.kernel.search import solve as kernel_solve
 from repro.structures.homomorphism import SearchStats, find_homomorphism
-from repro.structures.structure import Structure, _sort_key
+from repro.structures.structure import Structure
 
 __all__ = ["solve_backtracking", "solve_instance", "degree_order"]
 
@@ -24,13 +35,12 @@ Element = Hashable
 def degree_order(source: Structure) -> list[Element]:
     """Elements of the source sorted by decreasing number of occurrences.
 
-    The classic "degree" static variable-ordering heuristic.
+    The classic "degree" static variable-ordering heuristic.  Computed
+    from the compiled source's occurrence index, so repeated calls
+    against one structure do not re-count occurrences.
     """
-    occurrences = source.occurrences()
-    return sorted(
-        source.universe,
-        key=lambda e: (-len(occurrences[e]), _sort_key(e)),
-    )
+    compiled = compile_source(source)
+    return [compiled.variables[x] for x in compiled.degree_order]
 
 
 def solve_backtracking(
@@ -40,19 +50,35 @@ def solve_backtracking(
     preprocess: bool = True,
     use_degree_order: bool = False,
     stats: SearchStats | None = None,
+    engine: str | None = None,
 ) -> dict[Element, Element] | None:
     """Find a homomorphism with the generic backtracking solver.
 
     ``preprocess=True`` runs (generalized) arc consistency first and bails
     out early on a wipe-out.  ``use_degree_order=True`` replaces the
-    dynamic MRV ordering with the static degree heuristic.
+    dynamic MRV ordering with the static degree heuristic.  On the kernel
+    engine the arc-consistent domains also seed the search.
     """
-    if preprocess:
-        domains = establish_arc_consistency(source, target)
-        if domains is None:
-            return None
+    if resolve_engine(engine) == LEGACY:
+        if preprocess:
+            domains = establish_arc_consistency(
+                source, target, engine=LEGACY
+            )
+            if domains is None:
+                return None
+        order = degree_order(source) if use_degree_order else None
+        return find_homomorphism(
+            source, target, order=order, stats=stats, engine=LEGACY
+        )
+
+    if source.vocabulary != target.vocabulary:
+        raise VocabularyError("instance structures must share a vocabulary")
+    if source.universe and not target.universe:
+        return None
     order = degree_order(source) if use_degree_order else None
-    return find_homomorphism(source, target, order=order, stats=stats)
+    return kernel_solve(
+        source, target, stats=stats, order=order, propagate_first=preprocess
+    )
 
 
 def solve_instance(

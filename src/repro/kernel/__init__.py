@@ -1,0 +1,60 @@
+"""The compiled bitset solving kernel.
+
+One compiled representation — integer-indexed elements, Python-int
+bitmask domains, per-``(relation, position, value)`` support bitsets —
+shared by every inner loop of the library, per the paper's observation
+that CQ containment, CQ evaluation, and CSP are one homomorphism
+problem:
+
+* :mod:`repro.kernel.compile` — structures → :class:`CompiledSource` /
+  :class:`CompiledTarget` (memoized on the structure; also cached across
+  structurally-equal rebuilds by the fingerprint-keyed
+  :class:`repro.core.pipeline.StructureCache`);
+* :mod:`repro.kernel.propagate` — generalized arc consistency with
+  AC-2001-style residual last supports;
+* :mod:`repro.kernel.search` — forward-checking/MRV backtracking that
+  mirrors the reference search tree exactly (same answers, same order,
+  same ``SearchStats``), plus the :func:`solve` fast path used by the
+  pipeline strategies;
+* :mod:`repro.kernel.pebble2` — the existential 2-pebble game as bitset
+  arc consistency (the ``k = 2`` fast path of the pebble strategy);
+* :mod:`repro.kernel.engine` — the kernel/legacy flag keeping the
+  reference implementations available as the parity oracle.
+"""
+
+from repro.kernel.compile import (
+    CompiledSource,
+    CompiledTarget,
+    compile_source,
+    compile_target,
+    initial_domains,
+)
+from repro.kernel.engine import (
+    KERNEL,
+    LEGACY,
+    default_engine,
+    resolve_engine,
+    set_default_engine,
+    use_engine,
+)
+from repro.kernel.pebble2 import spoiler_wins_k2
+from repro.kernel.propagate import propagate
+from repro.kernel.search import search_homomorphisms, solve
+
+__all__ = [
+    "KERNEL",
+    "LEGACY",
+    "CompiledSource",
+    "CompiledTarget",
+    "compile_source",
+    "compile_target",
+    "default_engine",
+    "initial_domains",
+    "propagate",
+    "resolve_engine",
+    "search_homomorphisms",
+    "set_default_engine",
+    "solve",
+    "spoiler_wins_k2",
+    "use_engine",
+]

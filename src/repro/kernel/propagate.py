@@ -1,0 +1,129 @@
+"""Generalized arc consistency on compiled instances.
+
+The bitset replacement for the AC-3 rescan loop of :mod:`repro.csp.ac3`:
+instead of rebuilding the list of supported target tuples per queue pop,
+a constraint's valid-tuple set is one AND-of-ORs over precompiled support
+bitsets, and each domain value's support question is a single AND.
+
+Two layers keep the common case cheap:
+
+* **AC-2001-style residual last supports** — per ``(constraint, position,
+  value)`` the propagator remembers the index of the tuple that supported
+  the value last time.  While that tuple is still alive (every coordinate
+  still in its variable's domain — an O(arity) bit test), the value is
+  supported and the valid-tuple mask is never materialized.
+* **Lazy valid masks** — the AND-of-ORs is computed at most once per
+  queue pop, and only when some residual actually died.
+
+The fixpoint computed is the unique (generalized) arc-consistent closure,
+the same one the reference ``establish_arc_consistency`` reaches.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.kernel.compile import CompiledSource, CompiledTarget
+
+__all__ = ["propagate"]
+
+
+def _valid_mask(
+    supports: tuple[tuple[int, ...], ...],
+    scope: tuple[int, ...],
+    domains: list[int],
+    all_tuples: int,
+) -> int:
+    """The mask of relation tuples compatible with the current domains."""
+    valid = all_tuples
+    for position, x in enumerate(scope):
+        allowed = 0
+        mask = domains[x]
+        per_value = supports[position]
+        while mask:
+            low = mask & -mask
+            allowed |= per_value[low.bit_length() - 1]
+            mask ^= low
+        valid &= allowed
+        if not valid:
+            break
+    return valid
+
+
+def propagate(
+    csource: CompiledSource,
+    ctarget: CompiledTarget,
+    domains: list[int],
+) -> list[int] | None:
+    """Prune ``domains`` (in place) to generalized arc consistency.
+
+    Returns the pruned domain masks, or ``None`` on a wipe-out of a
+    constrained variable (which proves no homomorphism exists).
+    """
+    constraints = csource.constraints
+    constraints_of = csource.constraints_of
+    supports_by_name = ctarget.supports
+    tuples_by_name = ctarget.tuples
+    all_tuples_masks = ctarget.all_tuples_masks
+    num_values = len(ctarget.values)
+
+    queue: deque[int] = deque(range(len(constraints)))
+    queued = [True] * len(constraints)
+    # Residual last supports, allocated lazily per constraint.
+    residuals: list[list[list[int]] | None] = [None] * len(constraints)
+
+    while queue:
+        ci = queue.popleft()
+        queued[ci] = False
+        name, scope = constraints[ci]
+        if not scope:
+            continue
+        supports = supports_by_name[name]
+        tuples = tuples_by_name[name]
+        residual = residuals[ci]
+        if residual is None:
+            residual = [[-1] * num_values for _ in scope]
+            residuals[ci] = residual
+        valid: int | None = None
+        changed: list[int] = []
+        for position, x in enumerate(scope):
+            domain = domains[x]
+            per_value = supports[position]
+            last = residual[position]
+            surviving = 0
+            mask = domain
+            while mask:
+                low = mask & -mask
+                value = low.bit_length() - 1
+                mask ^= low
+                j = last[value]
+                if j >= 0:
+                    row = tuples[j]
+                    for q, y in enumerate(scope):
+                        if not domains[y] >> row[q] & 1:
+                            break
+                    else:
+                        surviving |= low
+                        continue
+                if valid is None:
+                    valid = _valid_mask(
+                        supports, scope, domains, all_tuples_masks[name]
+                    )
+                hit = per_value[value] & valid
+                if hit:
+                    surviving |= low
+                    last[value] = (hit & -hit).bit_length() - 1
+            if surviving != domain:
+                domains[x] = surviving
+                if not surviving:
+                    return None
+                changed.append(x)
+        for x in changed:
+            # Re-enqueue every constraint touching the pruned variable —
+            # including this one: pruning position i can retract support
+            # for position j of the same constraint.
+            for other in constraints_of[x]:
+                if not queued[other]:
+                    queue.append(other)
+                    queued[other] = True
+    return domains

@@ -1,0 +1,219 @@
+"""Bitset backtracking search over compiled instances.
+
+A faithful mirror of the reference search in
+:mod:`repro.structures.homomorphism` — MRV dynamic variable ordering
+(optionally a static order), forward checking after every assignment, the
+same node/backtrack counters — with every inner loop replaced by integer
+bit operations:
+
+* a variable's domain is one int mask; MRV is ``bit_count()``;
+* each constraint keeps a mask of target tuples compatible with the
+  assigned variables so far; assigning ``x := v`` is one AND with the
+  precompiled ``(relation, position, v)`` support bitset per occurrence;
+* forward checking a neighbour is, per remaining value, one AND against
+  that valid-tuple mask.
+
+Because variables and values are numbered in the reference ``_sort_key``
+order and pruning is assignment-based exactly like the reference forward
+checking, the search visits the same tree: the homomorphisms come out in
+the same deterministic order with the same ``SearchStats`` counts.  The
+randomized parity suite (``tests/test_kernel_parity.py``) holds the two
+implementations to that agreement.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator, Mapping, Sequence
+
+from repro.kernel.compile import (
+    CompiledSource,
+    CompiledTarget,
+    compile_source,
+    compile_target,
+    initial_domains,
+)
+from repro.kernel.propagate import propagate
+from repro.structures.structure import Structure
+
+__all__ = ["search_homomorphisms", "solve"]
+
+Element = Hashable
+
+
+class _NullStats:
+    """Stand-in counters when the caller does not ask for stats."""
+
+    __slots__ = ("nodes", "backtracks")
+
+    def __init__(self) -> None:
+        self.nodes = 0
+        self.backtracks = 0
+
+
+def search_homomorphisms(
+    source: Structure | CompiledSource,
+    target: Structure | CompiledTarget,
+    *,
+    stats=None,
+    order: Sequence[Element] | None = None,
+    fixed: Mapping[Element, Element] | None = None,
+    domains: list[int] | None = None,
+) -> Iterator[dict[Element, Element]]:
+    """Yield every homomorphism source → target, reference order.
+
+    ``stats`` is any object with ``nodes``/``backtracks`` counters (a
+    :class:`repro.structures.homomorphism.SearchStats`).  ``order`` fixes
+    a static variable order; ``fixed`` pre-pins images; ``domains``
+    optionally supplies starting masks (e.g. pre-propagated ones) instead
+    of the node-consistent initial domains.
+    """
+    csource = compile_source(source)
+    ctarget = compile_target(target)
+    if stats is None:
+        stats = _NullStats()
+
+    if domains is None:
+        domains = initial_domains(csource, ctarget)
+        if domains is None:
+            return
+    else:
+        domains = list(domains)
+
+    var_index = csource.var_index
+    value_index = ctarget.value_index
+    for element, value in (fixed or {}).items():
+        x = var_index.get(element)
+        v = value_index.get(value)
+        if x is None or v is None or not domains[x] >> v & 1:
+            return
+        domains[x] = 1 << v
+
+    n = len(csource.variables)
+    if n == 0:
+        yield {}
+        return
+
+    constraints = csource.constraints
+    constraints_of = csource.constraints_of
+    supports = [ctarget.supports[name] for name, _scope in constraints]
+    valid = [
+        ctarget.all_tuples_masks[name] for name, _scope in constraints
+    ]
+    assigned = [-1] * n
+    assign_order: list[int] = []
+    static_order = (
+        [var_index[element] for element in order] if order is not None else None
+    )
+    variables = csource.variables
+    values = ctarget.values
+
+    def pick_unassigned() -> int:
+        if static_order is not None:
+            for x in static_order:
+                if assigned[x] < 0:
+                    return x
+        best = -1
+        best_size = 0
+        for x in range(n):
+            if assigned[x] < 0:
+                size = domains[x].bit_count()
+                if best < 0 or size < best_size:
+                    best, best_size = x, size
+        return best
+
+    def assign(x: int, v: int) -> tuple[bool, list, list]:
+        """Forward-check the constraints touching ``x`` after ``x := v``.
+
+        Returns ``(survived, constraint trail, domain trail)``; the caller
+        undoes the trails either way (mirroring the reference undo).
+        """
+        trail_valid: list[tuple[int, int]] = []
+        trail_domains: list[tuple[int, int]] = []
+        for ci in constraints_of[x]:
+            _name, scope = constraints[ci]
+            sup = supports[ci]
+            live = valid[ci]
+            for position, y in enumerate(scope):
+                if y == x:
+                    live &= sup[position][v]
+            if live != valid[ci]:
+                trail_valid.append((ci, valid[ci]))
+                valid[ci] = live
+            if not live:
+                return False, trail_valid, trail_domains
+            for position, y in enumerate(scope):
+                if y == x or assigned[y] >= 0:
+                    continue
+                domain = domains[y]
+                per_value = sup[position]
+                surviving = 0
+                mask = domain
+                while mask:
+                    low = mask & -mask
+                    if per_value[low.bit_length() - 1] & live:
+                        surviving |= low
+                    mask ^= low
+                if surviving != domain:
+                    trail_domains.append((y, domain))
+                    domains[y] = surviving
+                    if not surviving:
+                        return False, trail_valid, trail_domains
+        return True, trail_valid, trail_domains
+
+    def extend() -> Iterator[dict[Element, Element]]:
+        if len(assign_order) == n:
+            yield {
+                variables[x]: values[assigned[x]] for x in assign_order
+            }
+            return
+        x = pick_unassigned()
+        mask = domains[x]
+        while mask:
+            low = mask & -mask
+            v = low.bit_length() - 1
+            mask ^= low
+            stats.nodes += 1
+            assigned[x] = v
+            assign_order.append(x)
+            survived, trail_valid, trail_domains = assign(x, v)
+            if survived:
+                yield from extend()
+            else:
+                stats.backtracks += 1
+            for y, old in reversed(trail_domains):
+                domains[y] = old
+            for ci, old in reversed(trail_valid):
+                valid[ci] = old
+            assign_order.pop()
+            assigned[x] = -1
+
+    yield from extend()
+
+
+def solve(
+    source: Structure | CompiledSource,
+    target: Structure | CompiledTarget,
+    *,
+    stats=None,
+    order: Sequence[Element] | None = None,
+    propagate_first: bool = True,
+) -> dict[Element, Element] | None:
+    """Find one homomorphism with the full kernel pipeline, or ``None``.
+
+    The fast path used by the pipeline strategies: compile (memoized),
+    establish generalized arc consistency, then search from the pruned
+    domains.  Unlike the reference facade, the propagated domains are
+    *kept* for the search rather than recomputed.
+    """
+    csource = compile_source(source)
+    ctarget = compile_target(target)
+    domains = initial_domains(csource, ctarget)
+    if domains is None:
+        return None
+    if propagate_first and propagate(csource, ctarget, domains) is None:
+        return None
+    for assignment in search_homomorphisms(
+        csource, ctarget, stats=stats, order=order, domains=domains
+    ):
+        return assignment
+    return None

@@ -18,6 +18,15 @@ The backtracking search is deliberately the *uniform* general-case algorithm:
 Sections 3–5 of the paper are about inputs where it can be replaced by a
 polynomial algorithm, and the benchmark suite compares those algorithms
 against this one.
+
+Two engines implement it.  The default is the compiled bitset kernel
+(:mod:`repro.kernel`), which visits the identical search tree on
+integer-indexed masks; the original pure-dict search below remains the
+reference semantics — same answers, in the same deterministic order —
+selectable per call with ``engine="legacy"`` or process-wide via
+:func:`repro.kernel.set_default_engine` / the ``REPRO_ENGINE``
+environment variable, and held to exact agreement by the randomized
+parity suite.
 """
 
 from __future__ import annotations
@@ -25,6 +34,8 @@ from __future__ import annotations
 from typing import Hashable, Iterator, Mapping, Sequence
 
 from repro.exceptions import VocabularyError
+from repro.kernel.engine import LEGACY, resolve_engine
+from repro.kernel.search import search_homomorphisms
 from repro.structures.structure import Structure, _sort_key
 
 __all__ = [
@@ -229,6 +240,7 @@ def find_homomorphism(
     order: Sequence[Element] | None = None,
     stats: SearchStats | None = None,
     fixed: Mapping[Element, Element] | None = None,
+    engine: str | None = None,
 ) -> Assignment | None:
     """Find one homomorphism ``source → target`` or return ``None``.
 
@@ -236,40 +248,89 @@ def find_homomorphism(
     fixes a static variable order; by default MRV dynamic ordering is used.
     ``fixed`` pre-pins the images of some elements (used e.g. to search for
     retractions).  Pass a :class:`SearchStats` to collect search counters.
+    ``engine`` selects the compiled kernel (default) or the legacy
+    reference search; both return the same assignment.
     """
     _check_same_vocabulary(source, target)
     if source.universe and not target.universe:
         return None
     stats = stats if stats is not None else SearchStats()
-    for assignment in _search(
-        source, target, stats=stats, order=order, fixed=fixed
-    ):
+    if resolve_engine(engine) == LEGACY:
+        results = _search(source, target, stats=stats, order=order, fixed=fixed)
+    else:
+        results = search_homomorphisms(
+            source, target, stats=stats, order=order, fixed=fixed
+        )
+    for assignment in results:
         return assignment
     return None
 
 
-def homomorphism_exists(source: Structure, target: Structure) -> bool:
-    """Decision-problem convenience wrapper around :func:`find_homomorphism`."""
-    return find_homomorphism(source, target) is not None
+def homomorphism_exists(
+    source: Structure,
+    target: Structure,
+    *,
+    order: Sequence[Element] | None = None,
+    stats: SearchStats | None = None,
+    engine: str | None = None,
+) -> bool:
+    """Decision-problem convenience wrapper around :func:`find_homomorphism`.
+
+    Accepts and propagates the same ``order=`` / ``stats=`` / ``engine=``
+    keywords as :func:`find_homomorphism`.
+    """
+    return (
+        find_homomorphism(
+            source, target, order=order, stats=stats, engine=engine
+        )
+        is not None
+    )
 
 
 def all_homomorphisms(
     source: Structure,
     target: Structure,
     *,
+    order: Sequence[Element] | None = None,
     stats: SearchStats | None = None,
+    engine: str | None = None,
 ) -> Iterator[Assignment]:
-    """Yield every homomorphism ``source → target`` (deterministic order)."""
+    """Yield every homomorphism ``source → target`` (deterministic order).
+
+    Both engines enumerate in the same order; ``order=`` / ``stats=`` work
+    as in :func:`find_homomorphism`.
+    """
     _check_same_vocabulary(source, target)
     if source.universe and not target.universe:
         return
     stats = stats if stats is not None else SearchStats()
-    yield from _search(source, target, stats=stats, order=None)
+    if resolve_engine(engine) == LEGACY:
+        yield from _search(source, target, stats=stats, order=order)
+    else:
+        yield from search_homomorphisms(
+            source, target, stats=stats, order=order
+        )
 
 
-def count_homomorphisms(source: Structure, target: Structure) -> int:
-    """The number of homomorphisms ``source → target``."""
-    return sum(1 for _ in all_homomorphisms(source, target))
+def count_homomorphisms(
+    source: Structure,
+    target: Structure,
+    *,
+    order: Sequence[Element] | None = None,
+    stats: SearchStats | None = None,
+    engine: str | None = None,
+) -> int:
+    """The number of homomorphisms ``source → target``.
+
+    Accepts and propagates the same ``order=`` / ``stats=`` / ``engine=``
+    keywords as :func:`find_homomorphism`.
+    """
+    return sum(
+        1
+        for _ in all_homomorphisms(
+            source, target, order=order, stats=stats, engine=engine
+        )
+    )
 
 
 def image(

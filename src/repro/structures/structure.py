@@ -56,6 +56,8 @@ class Structure:
         "_relations",
         "_hash",
         "_fingerprint",
+        "_compiled_source",
+        "_compiled_target",
     )
 
     def __init__(
@@ -92,6 +94,9 @@ class Structure:
         self._hash: int | None = None
         #: Memo for repro.structures.fingerprint.canonical_fingerprint.
         self._fingerprint: str | None = None
+        #: Memos for repro.kernel.compile_source / compile_target.
+        self._compiled_source: object | None = None
+        self._compiled_target: object | None = None
 
     # -- basic accessors -----------------------------------------------------
 
