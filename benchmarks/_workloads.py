@@ -11,6 +11,7 @@ import random
 
 from repro.csp.generators import (
     bounded_treewidth_structure,
+    random_chain_query,
     random_schaefer_target,
     random_structure,
     random_two_atom_query,
@@ -95,3 +96,66 @@ def containment_pair(size: int, *, seed: int = 0):
     q1 = random_two_atom_query(size, size + 2, seed=seed)
     q2 = random_two_atom_query(size, size + 2, seed=seed + 999)
     return q1, q2
+
+
+def mixed_service_workload(
+    *,
+    seed: int = 0,
+    variants: int = 2,
+    clique_sizes: tuple[int, ...] = (4, 5),
+    horn_n: int = 40,
+    boolean_n: int = 30,
+    coloring_n: int = 40,
+    treewidth_n: int = 36,
+    chain_length: int = 4,
+    database_n: int = 12,
+) -> list[tuple[str, Structure, Structure]]:
+    """The P3 serving mix: every pipeline route, labelled, deterministic.
+
+    Returns ``(label, source, target)`` triples covering the paper's
+    islands (Horn / bijunctive / affine fast routes), the treewidth DP,
+    CQ evaluation (chain query against a random database), 2-coloring
+    (pebble territory), and the backtracking-heavy clique searches of
+    E13.  ``variants`` controls how many seeded variants of each family
+    are produced; both the service load benchmark and the service
+    parity suite draw from here so they exercise the same traffic shape.
+    """
+    from repro.cq.canonical import body_structure
+    from repro.structures.graphs import clique, random_digraph, random_graph
+
+    instances: list[tuple[str, Structure, Structure]] = []
+    for v in range(variants):
+        s = seed + 101 * v
+        instances.append(
+            ("horn", *satisfiable_horn_instance(horn_n, seed=s))
+        )
+        instances.append(
+            ("bijunctive", *boolean_instance(boolean_n, "bijunctive", seed=s))
+        )
+        instances.append(
+            ("affine", *boolean_instance(boolean_n, "affine", seed=s))
+        )
+        instances.append(
+            ("two-coloring", *two_coloring_instance(coloring_n, seed=s))
+        )
+        structure, target, _decomposition = treewidth_instance(
+            treewidth_n, 2, seed=s
+        )
+        instances.append(("treewidth", structure, target))
+        query = random_chain_query(chain_length, seed=s)
+        instances.append(
+            (
+                "cq-evaluation",
+                body_structure(query),
+                random_digraph(database_n, 0.3, seed=s),
+            )
+        )
+        for k in clique_sizes:
+            instances.append(
+                (
+                    f"clique-{k}",
+                    clique(k),
+                    random_graph(16, 0.5, seed=s + k),
+                )
+            )
+    return instances

@@ -34,6 +34,7 @@ from repro.core.pipeline import (
 )
 from repro.kernel.engine import set_default_engine, use_engine
 from repro.core.problem import HomomorphismProblem
+from repro.service import Priority, ServiceConfig, SolveService
 from repro.cq.containment import (
     containment_witness,
     contains,
@@ -90,4 +91,8 @@ __all__ = [
     # the compiled kernel's engine flag (kernel vs legacy oracle)
     "set_default_engine",
     "use_engine",
+    # the concurrent solve service
+    "Priority",
+    "ServiceConfig",
+    "SolveService",
 ]

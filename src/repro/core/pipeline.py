@@ -34,6 +34,7 @@ strategy order.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field, replace
 from typing import (
@@ -55,6 +56,7 @@ from repro.treewidth.heuristics import decompose
 __all__ = [
     "DEFAULT_WIDTH_THRESHOLD",
     "CacheStats",
+    "CacheTally",
     "Solution",
     "SolveContext",
     "SolveStats",
@@ -133,6 +135,20 @@ class CacheStats:
     misses: int
 
 
+@dataclass
+class CacheTally:
+    """Mutable per-solve hit/miss counters.
+
+    A :class:`SolveContext` carries one and hands it to every cache call it
+    makes, so a solve can report *its own* cache traffic even while other
+    threads hammer the same shared cache — the global :class:`CacheStats`
+    counters only tell a per-solve story in a single-threaded process.
+    """
+
+    hits: int = 0
+    misses: int = 0
+
+
 class StructureCache:
     """Memoizes per-structure analyses across solve calls.
 
@@ -148,6 +164,14 @@ class StructureCache:
     * :meth:`compiled_target` — the bitset index of a target
       (:class:`repro.kernel.CompiledTarget`), so ``solve_many`` amortizes
       compilation across every instance sharing the target.
+
+    All operations are thread-safe: one reentrant lock guards lookups,
+    inserts, evictions, and counters, so the cache can be shared by the
+    solve service's worker threads.  The lock is held across a miss's
+    ``compute()`` as well — two threads missing on the same key would
+    otherwise both compute it; per-cache serialization is what the
+    service's *sharded* cache (:class:`repro.service.ShardedStructureCache`)
+    spreads across independent shards.
     """
 
     #: Default per-analysis entry bound; old entries are evicted LRU-first.
@@ -157,6 +181,7 @@ class StructureCache:
         if maxsize < 1:
             raise ValueError("maxsize must be positive")
         self._maxsize = maxsize
+        self._lock = threading.RLock()
         self._classifications: dict[str, SchaeferClass] = {}
         self._decompositions: dict[str, TreeDecomposition] = {}
         self._compiled_targets: dict[str, CompiledTarget] = {}
@@ -165,24 +190,27 @@ class StructureCache:
 
     @property
     def stats(self) -> CacheStats:
-        return CacheStats(self._hits, self._misses)
+        with self._lock:
+            return CacheStats(self._hits, self._misses)
 
     def __len__(self) -> int:
-        return (
-            len(self._classifications)
-            + len(self._decompositions)
-            + len(self._compiled_targets)
-        )
+        with self._lock:
+            return (
+                len(self._classifications)
+                + len(self._decompositions)
+                + len(self._compiled_targets)
+            )
 
     def clear(self) -> None:
         """Drop all cached analyses (counters included)."""
-        self._classifications.clear()
-        self._decompositions.clear()
-        self._compiled_targets.clear()
-        self._hits = 0
-        self._misses = 0
+        with self._lock:
+            self._classifications.clear()
+            self._decompositions.clear()
+            self._compiled_targets.clear()
+            self._hits = 0
+            self._misses = 0
 
-    def _lookup(self, table: dict, key: str, compute):
+    def _lookup(self, table: dict, key: str, compute, tally: CacheTally | None):
         """LRU lookup: hits move to the back, inserts evict the front.
 
         Python dicts preserve insertion order, so the front of the dict is
@@ -190,41 +218,55 @@ class StructureCache:
         long-lived process (the north-star serving workload) from
         accumulating one decomposition per distinct source forever.
         """
-        try:
-            result = table.pop(key)
-            table[key] = result
-            self._hits += 1
-            return result
-        except KeyError:
-            self._misses += 1
-            result = compute()
-            if len(table) >= self._maxsize:
-                table.pop(next(iter(table)))
-            table[key] = result
-            return result
+        with self._lock:
+            try:
+                result = table.pop(key)
+                table[key] = result
+                self._hits += 1
+                if tally is not None:
+                    tally.hits += 1
+                return result
+            except KeyError:
+                self._misses += 1
+                if tally is not None:
+                    tally.misses += 1
+                result = compute()
+                if len(table) >= self._maxsize:
+                    table.pop(next(iter(table)))
+                table[key] = result
+                return result
 
-    def classification(self, target: Structure) -> SchaeferClass:
+    def classification(
+        self, target: Structure, *, tally: CacheTally | None = None
+    ) -> SchaeferClass:
         """The (cached) Schaefer classification of a Boolean ``target``."""
         return self._lookup(
             self._classifications,
             canonical_fingerprint(target),
             lambda: classify_structure(target),
+            tally,
         )
 
-    def decomposition(self, source: Structure) -> TreeDecomposition:
+    def decomposition(
+        self, source: Structure, *, tally: CacheTally | None = None
+    ) -> TreeDecomposition:
         """The (cached) greedy tree decomposition of ``source``."""
         return self._lookup(
             self._decompositions,
             canonical_fingerprint(source),
             lambda: decompose(source),
+            tally,
         )
 
-    def compiled_target(self, target: Structure) -> CompiledTarget:
+    def compiled_target(
+        self, target: Structure, *, tally: CacheTally | None = None
+    ) -> CompiledTarget:
         """The (cached) kernel compilation of ``target``."""
         return self._lookup(
             self._compiled_targets,
             canonical_fingerprint(target),
             lambda: compile_target(target),
+            tally,
         )
 
 
@@ -248,6 +290,9 @@ class SolveContext:
     width_threshold: int = DEFAULT_WIDTH_THRESHOLD
     pebble_k: int | None = None
     scratch: dict[str, object] = field(default_factory=dict)
+    #: This solve's own cache traffic (the shared cache's global counters
+    #: also see every *other* concurrent solve).
+    tally: CacheTally = field(default_factory=CacheTally)
     # Per-solve memos are keyed by the structure itself (structures hash
     # and compare by value), so a strategy asking about a *different*
     # structure — e.g. a booleanized encoding of the target — gets that
@@ -265,19 +310,25 @@ class SolveContext:
     def classification(self, target: Structure) -> SchaeferClass:
         """Schaefer classes of ``target``, via the cache, memoized per solve."""
         if target not in self._classifications:
-            self._classifications[target] = self.cache.classification(target)
+            self._classifications[target] = self.cache.classification(
+                target, tally=self.tally
+            )
         return self._classifications[target]
 
     def decomposition(self, source: Structure) -> TreeDecomposition:
         """Greedy decomposition of ``source``, via the cache, memoized per solve."""
         if source not in self._decompositions:
-            self._decompositions[source] = self.cache.decomposition(source)
+            self._decompositions[source] = self.cache.decomposition(
+                source, tally=self.tally
+            )
         return self._decompositions[source]
 
     def compiled_target(self, target: Structure) -> CompiledTarget:
         """Kernel compilation of ``target``, via the cache, memoized per solve."""
         if target not in self._compiled_targets:
-            self._compiled_targets[target] = self.cache.compiled_target(target)
+            self._compiled_targets[target] = self.cache.compiled_target(
+                target, tally=self.tally
+            )
         return self._compiled_targets[target]
 
 
@@ -420,7 +471,6 @@ class SolverPipeline:
             width_threshold=width_threshold,
             pebble_k=try_pebble_refutation,
         )
-        before = self.cache.stats
         attempted: list[str] = []
         timings: dict[str, float] = {}
         start = time.perf_counter()
@@ -445,11 +495,12 @@ class SolverPipeline:
                 "(the default registry ends with backtracking)"
             )
         timings["total"] = (time.perf_counter() - start) * 1000
-        after = self.cache.stats
+        # The context's tally counts only this solve's cache calls, so the
+        # numbers stay truthful when other threads share the cache.
         stats = SolveStats(
             attempted=tuple(attempted),
-            cache_hits=after.hits - before.hits,
-            cache_misses=after.misses - before.misses,
+            cache_hits=context.tally.hits,
+            cache_misses=context.tally.misses,
             timings=timings,
         )
         return replace(solution, stats=stats)

@@ -35,7 +35,9 @@ __all__ = [
     "PebbleRefutationStrategy",
     "TreewidthStrategy",
     "ZeroValidStrategy",
+    "base_route",
     "default_strategies",
+    "route_names",
 ]
 
 
@@ -52,3 +54,22 @@ def default_strategies():
         PebbleRefutationStrategy(),
         BacktrackingStrategy(),
     ]
+
+
+def route_names() -> tuple[str, ...]:
+    """The base route names of the default registry, in dispatch order.
+
+    The solve service pre-registers these as its per-route latency
+    buckets, so a stats snapshot lists every built-in route even before
+    (or without) traffic on it.
+    """
+    return tuple(strategy.name for strategy in default_strategies())
+
+
+def base_route(strategy_label: str) -> str:
+    """Collapse a parametrized strategy label to its route name.
+
+    Solutions carry labels like ``"treewidth-dp(width=2)"``; per-route
+    accounting buckets them by the route, not the parameters.
+    """
+    return strategy_label.split("(", 1)[0]

@@ -44,3 +44,28 @@ class DecompositionError(ReproError):
 class DatalogError(ReproError):
     """A Datalog program is malformed (unsafe in an unsupported way,
     inconsistent arities, undefined goal, ...)."""
+
+
+class ServiceError(ReproError):
+    """Base class for solve-service failures (:mod:`repro.service`)."""
+
+
+class ServiceClosedError(ServiceError):
+    """A request was submitted to a service that is not running."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """Admission control refused a request: too many open requests.
+
+    Raised synchronously by ``SolveService.submit`` so callers can shed
+    load at the front door instead of queueing without bound.
+    """
+
+
+class SolveTimeoutError(ServiceError):
+    """A request's per-request timeout elapsed before its solve finished.
+
+    Only the *waiter* gives up: the underlying computation keeps running
+    for any coalesced duplicates, and nothing about the timeout is
+    cached, so a retry gets a correct answer.
+    """

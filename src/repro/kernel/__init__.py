@@ -14,8 +14,12 @@ problem:
   AC-2001-style residual last supports;
 * :mod:`repro.kernel.search` — forward-checking/MRV backtracking that
   mirrors the reference search tree exactly (same answers, same order,
-  same ``SearchStats``), plus the :func:`solve` fast path used by the
-  pipeline strategies;
+  same ``SearchStats``), the :func:`solve` fast path used by the
+  pipeline strategies, and the :func:`count_solutions` leaf-tally count
+  mode behind ``count_homomorphisms``;
+* :mod:`repro.kernel.estimate` — the cheap cost model over compiled
+  sizes that the solve service uses to route a request to its thread or
+  process backend;
 * :mod:`repro.kernel.pebble2` — the existential 2-pebble game as bitset
   arc consistency (the ``k = 2`` fast path of the pebble strategy);
 * :mod:`repro.kernel.engine` — the kernel/legacy flag keeping the
@@ -37,9 +41,10 @@ from repro.kernel.engine import (
     set_default_engine,
     use_engine,
 )
+from repro.kernel.estimate import estimate_cost
 from repro.kernel.pebble2 import spoiler_wins_k2
 from repro.kernel.propagate import propagate
-from repro.kernel.search import search_homomorphisms, solve
+from repro.kernel.search import count_solutions, search_homomorphisms, solve
 
 __all__ = [
     "KERNEL",
@@ -48,7 +53,9 @@ __all__ = [
     "CompiledTarget",
     "compile_source",
     "compile_target",
+    "count_solutions",
     "default_engine",
+    "estimate_cost",
     "initial_domains",
     "propagate",
     "resolve_engine",

@@ -1,0 +1,61 @@
+"""A cheap solve-cost model over the kernel's compiled sizes.
+
+The solve service (:mod:`repro.service`) routes each request to one of
+two backends: an in-process worker thread (no serialization, shares the
+process-wide caches — right for instances the pipeline dispatches to a
+polynomial island in microseconds) or a process-pool worker (pays a
+pickle round-trip, escapes the GIL — right for backtracking-heavy
+instances that would stall every other request on the thread backend).
+
+The router needs a cost signal *before* solving.  Compilation is the
+natural place to read one off: it is linear, memoized on the structures
+(and fingerprint-cached across structurally-equal rebuilds), and already
+on the solve path, so estimating is free for the thread backend and
+cache-warming for everyone.  The model is the standard branching
+surrogate: ``n`` variables each choosing among ``m`` values, where every
+choice pays one support scan over the target tuples of each touching
+constraint.  It is deliberately crude — a routing signal, not a
+prediction — but it is monotone in everything that makes the search
+slow, which is all a two-way split needs.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.compile import (
+    CompiledSource,
+    CompiledTarget,
+    compile_source,
+    compile_target,
+)
+from repro.structures.structure import Structure
+
+__all__ = ["estimate_cost"]
+
+
+def estimate_cost(
+    source: Structure | CompiledSource,
+    target: Structure | CompiledTarget,
+    *,
+    ctarget: CompiledTarget | None = None,
+) -> float:
+    """A unitless surrogate for how expensive solving (A, B) can get.
+
+    ``ctarget`` lets a caller supply an already-cached compilation (the
+    service passes its sharded cache's copy) so the estimate never
+    compiles a target twice.
+    """
+    csource = compile_source(source)
+    if ctarget is None:
+        ctarget = compile_target(target)
+    n = len(csource.variables)
+    m = len(ctarget.values)
+    total_tuples = sum(len(rows) for rows in ctarget.tuples.values())
+    constraints = len(csource.constraints)
+    if n == 0 or m == 0:
+        return 0.0
+    # Per search level: up to m value choices, each forward-checking the
+    # constraints on the chosen variable against the target's tuples.
+    tuples_per_relation = total_tuples / max(1, len(ctarget.tuples))
+    per_level = m * (1.0 + tuples_per_relation)
+    density = constraints / n
+    return n * per_level * (1.0 + density)

@@ -19,6 +19,15 @@ checking, the search visits the same tree: the homomorphisms come out in
 the same deterministic order with the same ``SearchStats`` counts.  The
 randomized parity suite (``tests/test_kernel_parity.py``) holds the two
 implementations to that agreement.
+
+Two drivers share one core.  :func:`search_homomorphisms` enumerates,
+materializing an assignment dict per leaf; :func:`count_solutions` (the
+fast path of ``count_homomorphisms``) walks the identical tree but only
+tallies the leaves.  The setup (:func:`_pinned_domains`,
+:func:`_constraint_state`), the variable choice (:func:`_pick_unassigned`)
+and the forward-checking/trail logic (:func:`_forward_check` /
+:func:`_undo`) are single implementations, so the "identical search
+tree" contract cannot drift between the two drivers.
 """
 
 from __future__ import annotations
@@ -35,7 +44,7 @@ from repro.kernel.compile import (
 from repro.kernel.propagate import propagate
 from repro.structures.structure import Structure
 
-__all__ = ["search_homomorphisms", "solve"]
+__all__ = ["count_solutions", "search_homomorphisms", "solve"]
 
 Element = Hashable
 
@@ -48,6 +57,120 @@ class _NullStats:
     def __init__(self) -> None:
         self.nodes = 0
         self.backtracks = 0
+
+
+def _pinned_domains(
+    csource: CompiledSource,
+    ctarget: CompiledTarget,
+    fixed: Mapping[Element, Element] | None,
+    domains: list[int] | None,
+) -> list[int] | None:
+    """Starting domain masks with ``fixed`` pins applied, or ``None``.
+
+    ``None`` means provably no homomorphism: a node-consistency wipe-out,
+    or a ``fixed`` entry naming an unknown element/value or a value
+    outside the element's domain.
+    """
+    if domains is None:
+        domains = initial_domains(csource, ctarget)
+        if domains is None:
+            return None
+    else:
+        domains = list(domains)
+    var_index = csource.var_index
+    value_index = ctarget.value_index
+    for element, value in (fixed or {}).items():
+        x = var_index.get(element)
+        v = value_index.get(value)
+        if x is None or v is None or not domains[x] >> v & 1:
+            return None
+        domains[x] = 1 << v
+    return domains
+
+
+def _constraint_state(csource: CompiledSource, ctarget: CompiledTarget):
+    """Per-constraint supports and the all-tuples-valid starting masks."""
+    constraints = csource.constraints
+    supports = [ctarget.supports[name] for name, _scope in constraints]
+    valid = [ctarget.all_tuples_masks[name] for name, _scope in constraints]
+    return constraints, csource.constraints_of, supports, valid
+
+
+def _pick_unassigned(
+    static_order: list[int] | None,
+    assigned: list[int],
+    domains: list[int],
+    n: int,
+) -> int:
+    """The next variable: static order if given, else MRV (ties by index)."""
+    if static_order is not None:
+        for x in static_order:
+            if assigned[x] < 0:
+                return x
+    best = -1
+    best_size = 0
+    for x in range(n):
+        if assigned[x] < 0:
+            size = domains[x].bit_count()
+            if best < 0 or size < best_size:
+                best, best_size = x, size
+    return best
+
+
+def _forward_check(
+    x: int,
+    v: int,
+    assigned: list[int],
+    domains: list[int],
+    valid: list[int],
+    constraints,
+    constraints_of,
+    supports,
+) -> tuple[bool, list, list]:
+    """Forward-check the constraints touching ``x`` after ``x := v``.
+
+    Returns ``(survived, constraint trail, domain trail)``; the caller
+    undoes the trails either way (mirroring the reference undo).
+    """
+    trail_valid: list[tuple[int, int]] = []
+    trail_domains: list[tuple[int, int]] = []
+    for ci in constraints_of[x]:
+        _name, scope = constraints[ci]
+        sup = supports[ci]
+        live = valid[ci]
+        for position, y in enumerate(scope):
+            if y == x:
+                live &= sup[position][v]
+        if live != valid[ci]:
+            trail_valid.append((ci, valid[ci]))
+            valid[ci] = live
+        if not live:
+            return False, trail_valid, trail_domains
+        for position, y in enumerate(scope):
+            if y == x or assigned[y] >= 0:
+                continue
+            domain = domains[y]
+            per_value = sup[position]
+            surviving = 0
+            mask = domain
+            while mask:
+                low = mask & -mask
+                if per_value[low.bit_length() - 1] & live:
+                    surviving |= low
+                mask ^= low
+            if surviving != domain:
+                trail_domains.append((y, domain))
+                domains[y] = surviving
+                if not surviving:
+                    return False, trail_valid, trail_domains
+    return True, trail_valid, trail_domains
+
+
+def _undo(trail_domains, trail_valid, domains, valid) -> None:
+    for y, old in reversed(trail_domains):
+        domains[y] = old
+    for ci, old in reversed(trail_valid):
+        valid[ci] = old
 
 
 def search_homomorphisms(
@@ -72,93 +195,26 @@ def search_homomorphisms(
     if stats is None:
         stats = _NullStats()
 
+    domains = _pinned_domains(csource, ctarget, fixed, domains)
     if domains is None:
-        domains = initial_domains(csource, ctarget)
-        if domains is None:
-            return
-    else:
-        domains = list(domains)
-
-    var_index = csource.var_index
-    value_index = ctarget.value_index
-    for element, value in (fixed or {}).items():
-        x = var_index.get(element)
-        v = value_index.get(value)
-        if x is None or v is None or not domains[x] >> v & 1:
-            return
-        domains[x] = 1 << v
+        return
 
     n = len(csource.variables)
     if n == 0:
         yield {}
         return
 
-    constraints = csource.constraints
-    constraints_of = csource.constraints_of
-    supports = [ctarget.supports[name] for name, _scope in constraints]
-    valid = [
-        ctarget.all_tuples_masks[name] for name, _scope in constraints
-    ]
+    constraints, constraints_of, supports, valid = _constraint_state(
+        csource, ctarget
+    )
     assigned = [-1] * n
     assign_order: list[int] = []
+    var_index = csource.var_index
     static_order = (
         [var_index[element] for element in order] if order is not None else None
     )
     variables = csource.variables
     values = ctarget.values
-
-    def pick_unassigned() -> int:
-        if static_order is not None:
-            for x in static_order:
-                if assigned[x] < 0:
-                    return x
-        best = -1
-        best_size = 0
-        for x in range(n):
-            if assigned[x] < 0:
-                size = domains[x].bit_count()
-                if best < 0 or size < best_size:
-                    best, best_size = x, size
-        return best
-
-    def assign(x: int, v: int) -> tuple[bool, list, list]:
-        """Forward-check the constraints touching ``x`` after ``x := v``.
-
-        Returns ``(survived, constraint trail, domain trail)``; the caller
-        undoes the trails either way (mirroring the reference undo).
-        """
-        trail_valid: list[tuple[int, int]] = []
-        trail_domains: list[tuple[int, int]] = []
-        for ci in constraints_of[x]:
-            _name, scope = constraints[ci]
-            sup = supports[ci]
-            live = valid[ci]
-            for position, y in enumerate(scope):
-                if y == x:
-                    live &= sup[position][v]
-            if live != valid[ci]:
-                trail_valid.append((ci, valid[ci]))
-                valid[ci] = live
-            if not live:
-                return False, trail_valid, trail_domains
-            for position, y in enumerate(scope):
-                if y == x or assigned[y] >= 0:
-                    continue
-                domain = domains[y]
-                per_value = sup[position]
-                surviving = 0
-                mask = domain
-                while mask:
-                    low = mask & -mask
-                    if per_value[low.bit_length() - 1] & live:
-                        surviving |= low
-                    mask ^= low
-                if surviving != domain:
-                    trail_domains.append((y, domain))
-                    domains[y] = surviving
-                    if not surviving:
-                        return False, trail_valid, trail_domains
-        return True, trail_valid, trail_domains
 
     def extend() -> Iterator[dict[Element, Element]]:
         if len(assign_order) == n:
@@ -166,7 +222,7 @@ def search_homomorphisms(
                 variables[x]: values[assigned[x]] for x in assign_order
             }
             return
-        x = pick_unassigned()
+        x = _pick_unassigned(static_order, assigned, domains, n)
         mask = domains[x]
         while mask:
             low = mask & -mask
@@ -175,19 +231,91 @@ def search_homomorphisms(
             stats.nodes += 1
             assigned[x] = v
             assign_order.append(x)
-            survived, trail_valid, trail_domains = assign(x, v)
+            survived, trail_valid, trail_domains = _forward_check(
+                x, v, assigned, domains, valid,
+                constraints, constraints_of, supports,
+            )
             if survived:
                 yield from extend()
             else:
                 stats.backtracks += 1
-            for y, old in reversed(trail_domains):
-                domains[y] = old
-            for ci, old in reversed(trail_valid):
-                valid[ci] = old
+            _undo(trail_domains, trail_valid, domains, valid)
             assign_order.pop()
             assigned[x] = -1
 
     yield from extend()
+
+
+def count_solutions(
+    source: Structure | CompiledSource,
+    target: Structure | CompiledTarget,
+    *,
+    stats=None,
+    order: Sequence[Element] | None = None,
+    fixed: Mapping[Element, Element] | None = None,
+    domains: list[int] | None = None,
+) -> int:
+    """The number of homomorphisms source → target, counted at the leaves.
+
+    Visits exactly the search tree of :func:`search_homomorphisms` (same
+    MRV ordering, same forward checking, same ``nodes``/``backtracks``
+    counters — they share the implementation) but only *tallies* complete
+    assignments instead of materializing one dict per homomorphism — the
+    fast path behind ``count_homomorphisms``, where building and
+    discarding every assignment dict dominates on solution-dense
+    instances.
+    """
+    csource = compile_source(source)
+    ctarget = compile_target(target)
+    if stats is None:
+        stats = _NullStats()
+
+    domains = _pinned_domains(csource, ctarget, fixed, domains)
+    if domains is None:
+        return 0
+
+    n = len(csource.variables)
+    if n == 0:
+        return 1
+
+    constraints, constraints_of, supports, valid = _constraint_state(
+        csource, ctarget
+    )
+    assigned = [-1] * n
+    unassigned_count = n
+    var_index = csource.var_index
+    static_order = (
+        [var_index[element] for element in order] if order is not None else None
+    )
+
+    def extend() -> int:
+        nonlocal unassigned_count
+        if unassigned_count == 0:
+            return 1
+        total = 0
+        x = _pick_unassigned(static_order, assigned, domains, n)
+        mask = domains[x]
+        while mask:
+            low = mask & -mask
+            v = low.bit_length() - 1
+            mask ^= low
+            stats.nodes += 1
+            assigned[x] = v
+            unassigned_count -= 1
+            survived, trail_valid, trail_domains = _forward_check(
+                x, v, assigned, domains, valid,
+                constraints, constraints_of, supports,
+            )
+            if survived:
+                total += extend()
+            else:
+                stats.backtracks += 1
+            _undo(trail_domains, trail_valid, domains, valid)
+            unassigned_count += 1
+            assigned[x] = -1
+        return total
+
+    return extend()
 
 
 def solve(

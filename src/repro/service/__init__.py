@@ -1,0 +1,47 @@
+"""The concurrent solve service: serving the homomorphism loop.
+
+The north-star workload — many queries against few shared databases —
+arrives *concurrently*.  This package layers a serving front end over
+the :mod:`repro.core.pipeline`:
+
+* :class:`SolveService` (:mod:`repro.service.service`) — asyncio
+  ``submit`` / ``submit_many`` with admission control, priorities,
+  per-request timeouts, and in-flight request coalescing keyed by
+  canonical fingerprints;
+* backend selection by compiled-size cost estimate
+  (:mod:`repro.kernel.estimate`): worker threads for cheap requests,
+  a process pool (:mod:`repro.service.workers`) for
+  backtracking-heavy ones;
+* :class:`ShardedStructureCache` (:mod:`repro.service.cache`) —
+  per-shard-locked analysis caches shared by the worker threads;
+* :class:`ServiceStats` (:mod:`repro.service.stats`) — queue depth,
+  coalesce hits, per-route latency histograms, aggregated per-solve
+  :class:`~repro.core.pipeline.SolveStats`.
+
+Load characteristics are measured by
+``benchmarks/bench_p03_service_load.py`` (results in
+``BENCH_service.json``).
+"""
+
+from repro.exceptions import (
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
+    SolveTimeoutError,
+)
+from repro.service.cache import ShardedStructureCache
+from repro.service.service import Priority, ServiceConfig, SolveService
+from repro.service.stats import LatencyHistogram, ServiceStats
+
+__all__ = [
+    "LatencyHistogram",
+    "Priority",
+    "ServiceClosedError",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceOverloadedError",
+    "ServiceStats",
+    "ShardedStructureCache",
+    "SolveService",
+    "SolveTimeoutError",
+]

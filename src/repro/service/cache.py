@@ -1,0 +1,103 @@
+"""A sharded, independently locked structure cache for the solve service.
+
+:class:`repro.core.pipeline.StructureCache` is thread-safe, but by one
+reentrant lock per cache — and the lock is held across a miss's compute,
+so a thread compiling a large target blocks every other lookup on that
+cache.  Under the service's many-threads-few-targets workload that lock
+becomes the global convoy.  :class:`ShardedStructureCache` spreads the
+key space over ``num_shards`` plain :class:`StructureCache` shards, each
+with its own lock: lookups for different structures land on different
+shards (uniformly, since the shard index is a slice of the canonical
+fingerprint) and proceed in parallel; only two threads asking for the
+*same* structure serialize — which is exactly when serializing is the
+right call, because the second thread would recompute what the first is
+already computing.
+
+The sharded cache implements the same duck-typed surface the pipeline
+uses (``classification`` / ``decomposition`` / ``compiled_target``, each
+with the per-solve ``tally`` hook, plus ``stats`` / ``clear`` /
+``__len__``), so it drops into ``SolverPipeline(cache=...)`` unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.boolean.schaefer import SchaeferClass
+from repro.core.pipeline import CacheStats, CacheTally, StructureCache
+from repro.kernel.compile import CompiledTarget
+from repro.structures.fingerprint import canonical_fingerprint
+from repro.structures.structure import Structure
+from repro.treewidth.decomposition import TreeDecomposition
+
+__all__ = ["ShardedStructureCache"]
+
+
+class ShardedStructureCache:
+    """``num_shards`` independent :class:`StructureCache` shards.
+
+    ``maxsize`` bounds each *shard* (so the whole cache holds up to
+    ``num_shards * maxsize`` entries per analysis kind).  The shard of a
+    structure is derived from its canonical fingerprint — stable across
+    processes and across structurally equal rebuilds, like the cache keys
+    themselves.
+    """
+
+    DEFAULT_NUM_SHARDS = 8
+
+    def __init__(
+        self,
+        num_shards: int = DEFAULT_NUM_SHARDS,
+        *,
+        maxsize: int = StructureCache.DEFAULT_MAXSIZE,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be positive")
+        self._shards = tuple(
+            StructureCache(maxsize) for _ in range(num_shards)
+        )
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def shards(self) -> tuple[StructureCache, ...]:
+        return self._shards
+
+    def shard_for(self, structure: Structure) -> StructureCache:
+        """The shard responsible for ``structure`` (fingerprint-routed)."""
+        fingerprint = canonical_fingerprint(structure)
+        return self._shards[int(fingerprint[:8], 16) % len(self._shards)]
+
+    # -- the StructureCache surface ------------------------------------------
+
+    def classification(
+        self, target: Structure, *, tally: CacheTally | None = None
+    ) -> SchaeferClass:
+        return self.shard_for(target).classification(target, tally=tally)
+
+    def decomposition(
+        self, source: Structure, *, tally: CacheTally | None = None
+    ) -> TreeDecomposition:
+        return self.shard_for(source).decomposition(source, tally=tally)
+
+    def compiled_target(
+        self, target: Structure, *, tally: CacheTally | None = None
+    ) -> CompiledTarget:
+        return self.shard_for(target).compiled_target(target, tally=tally)
+
+    @property
+    def stats(self) -> CacheStats:
+        """Aggregate hit/miss counters across all shards."""
+        hits = misses = 0
+        for shard in self._shards:
+            shard_stats = shard.stats
+            hits += shard_stats.hits
+            misses += shard_stats.misses
+        return CacheStats(hits, misses)
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    def clear(self) -> None:
+        for shard in self._shards:
+            shard.clear()

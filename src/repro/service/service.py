@@ -1,0 +1,566 @@
+"""The concurrent solve service: an asyncio front end over the pipeline.
+
+Kolaitis–Vardi's equivalence makes the pipeline's core loop exactly what
+a database engine runs per query, and the realistic serving shape is
+many queries arriving concurrently against a small set of shared
+databases.  :class:`SolveService` is that serving layer:
+
+* **Front end** — :meth:`SolveService.submit` / :meth:`submit_many`
+  return awaitables resolving to the pipeline's
+  :class:`~repro.core.pipeline.Solution`.  Admission control bounds the
+  number of open requests (:class:`ServiceOverloadedError` at the front
+  door beats an unbounded queue); each request carries a
+  :class:`Priority` and an optional per-request timeout.
+* **Coalescing** — duplicate *in-flight* requests (same instance up to
+  structural equality, same solve options — keyed by
+  :func:`repro.structures.fingerprint.instance_fingerprint`) attach to
+  the running computation and receive the identical ``Solution`` object.
+  Nothing about results is cached beyond the in-flight window, so a
+  failed or timed-out solve can never poison later answers.
+* **Backends** — every request is first planned on a worker thread: the
+  target is compiled through the shared sharded cache and
+  :func:`repro.kernel.estimate.estimate_cost` reads a cost off the
+  compiled sizes.  Cheap requests (the paper's polynomial islands, small
+  searches) are solved right there on the thread — no serialization,
+  shared caches; expensive ones (backtracking-heavy) are shipped to a
+  process-pool worker, escaping the GIL so they cannot stall the rest of
+  the traffic.  Each worker process keeps its own long-lived pipeline
+  and cache (:mod:`repro.service.workers`).
+* **Caching** — the thread backend's pipeline uses a
+  :class:`~repro.service.cache.ShardedStructureCache`: per-shard locks,
+  fingerprint-routed, so concurrent threads only serialize when they ask
+  for the *same* structure's analysis.
+* **Observability** — :class:`~repro.service.stats.ServiceStats` at
+  ``service.stats``: queue depth, coalesce hits, per-route latency
+  histograms, folded per-solve :class:`~repro.core.pipeline.SolveStats`.
+
+Typical use::
+
+    async with SolveService() as service:
+        solution = await service.submit(source, target)
+        answers = await service.submit_many(pairs)
+
+The service must be started (and submitted to) from one event loop;
+``async with`` handles start/stop, including draining in-flight work.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Awaitable, Iterable
+
+from repro.core.pipeline import (
+    DEFAULT_WIDTH_THRESHOLD,
+    Solution,
+    SolverPipeline,
+    StructureCache,
+)
+from repro.exceptions import (
+    ServiceClosedError,
+    ServiceOverloadedError,
+    SolveTimeoutError,
+    VocabularyError,
+)
+from repro.kernel.estimate import estimate_cost
+from repro.service.cache import ShardedStructureCache
+from repro.service.stats import ServiceStats
+from repro.service.workers import process_solve, worker_initializer, worker_pid
+from repro.structures.fingerprint import instance_fingerprint
+from repro.structures.structure import Structure
+
+__all__ = ["Priority", "ServiceConfig", "SolveService"]
+
+
+class Priority(IntEnum):
+    """Dispatch priority; lower values dispatch first."""
+
+    HIGH = 0
+    NORMAL = 1
+    LOW = 2
+
+
+#: Distinguishes "caller passed nothing" from an explicit ``None``
+#: (``timeout=None`` means "wait forever").
+_UNSET = object()
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning knobs of a :class:`SolveService`.
+
+    ``process_workers=None`` sizes the pool to the machine
+    (``os.cpu_count()``); ``0`` disables the process backend entirely —
+    every request then runs on the thread backend regardless of cost.
+    ``max_pending`` bounds *open* requests (queued plus executing);
+    coalesced duplicates ride along for free and are never rejected.
+    ``process_cost_threshold`` is in the unitless scale of
+    :func:`repro.kernel.estimate.estimate_cost`.
+    """
+
+    thread_workers: int = 4
+    process_workers: int | None = None
+    max_pending: int = 1024
+    process_cost_threshold: float = 20_000.0
+    default_timeout: float | None = None
+    num_shards: int = ShardedStructureCache.DEFAULT_NUM_SHARDS
+    cache_maxsize: int = StructureCache.DEFAULT_MAXSIZE
+    width_threshold: int = DEFAULT_WIDTH_THRESHOLD
+    try_pebble_refutation: int | None = None
+
+
+@dataclass
+class _Request:
+    """One admitted (non-coalesced) request."""
+
+    seq: int
+    key: tuple
+    source: Structure
+    target: Structure
+    options: dict
+    priority: int
+    future: asyncio.Future
+    enqueued_at: float = field(default_factory=time.perf_counter)
+    #: Set when the dispatcher hands the request to a backend (or stop()
+    #: fails it).  A priority bump re-pushes the request onto the heap,
+    #: so stale heap entries are skipped via this flag (lazy deletion).
+    dispatched: bool = False
+
+
+def _consume_exception(future: asyncio.Future) -> None:
+    """Mark a failed future's exception retrieved.
+
+    Every waiter may have timed out and walked away; without this, the
+    event loop logs "exception was never retrieved" at GC time.
+    """
+    if not future.cancelled():
+        future.exception()
+
+
+class SolveService:
+    """The concurrent solving service (see module docstring).
+
+    Parameters
+    ----------
+    config:
+        Tuning knobs; defaults are sensible for tests and small servers.
+    cache:
+        Optionally share a pre-built
+        :class:`~repro.service.cache.ShardedStructureCache` (e.g. across
+        services in one process); by default the service builds its own
+        from the config's shard count.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        *,
+        cache: ShardedStructureCache | None = None,
+    ) -> None:
+        self._config = config if config is not None else ServiceConfig()
+        self.cache = cache if cache is not None else ShardedStructureCache(
+            self._config.num_shards, maxsize=self._config.cache_maxsize
+        )
+        #: The thread backend's pipeline, sharing the sharded cache.
+        self.pipeline = SolverPipeline(cache=self.cache)
+        self.stats = ServiceStats()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread_pool: ThreadPoolExecutor | None = None
+        self._process_pool: ProcessPoolExecutor | None = None
+        self._heap: list[tuple[int, int, _Request]] = []
+        #: Admitted-but-undispatched requests; len(self._heap) would
+        #: over-count by the stale entries priority bumps leave behind.
+        self._queued = 0
+        self._inflight: dict[tuple, _Request] = {}
+        self._open_requests = 0
+        self._seq = itertools.count()
+        self._tasks: set[asyncio.Task] = set()
+        self._dispatch_task: asyncio.Task | None = None
+        self._work_available: asyncio.Event | None = None
+        self._capacity: asyncio.Condition | None = None
+        self._slots: asyncio.Semaphore | None = None
+        self._running = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    @property
+    def config(self) -> ServiceConfig:
+        return self._config
+
+    async def start(self) -> "SolveService":
+        """Start the dispatcher and worker pools on the running loop."""
+        if self._running:
+            return self
+        self._loop = asyncio.get_running_loop()
+        config = self._config
+        workers = (
+            config.process_workers
+            if config.process_workers is not None
+            else (os.cpu_count() or 1)
+        )
+        if workers > 0:
+            # Spawn the worker processes *now*, before the service has
+            # started any thread: forking a multi-threaded process can
+            # inherit locks mid-acquire.  If the platform refuses —
+            # fork/spawn denied (OSError) or workers dying during
+            # startup (BrokenProcessPool) — run thread-only rather than
+            # failing the whole service.
+            pool = None
+            try:
+                pool = ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=worker_initializer,
+                    initargs=(config.cache_maxsize,),
+                )
+                await asyncio.gather(
+                    *[
+                        self._loop.run_in_executor(pool, worker_pid)
+                        for _ in range(workers)
+                    ]
+                )
+            except (OSError, BrokenProcessPool):
+                if pool is not None:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                pool = None
+            self._process_pool = pool
+        else:
+            self._process_pool = None
+        self._thread_pool = ThreadPoolExecutor(
+            max_workers=config.thread_workers,
+            thread_name_prefix="repro-solve",
+        )
+        concurrency = config.thread_workers + (
+            workers if self._process_pool is not None else 0
+        )
+        self._slots = asyncio.Semaphore(concurrency)
+        self._work_available = asyncio.Event()
+        self._capacity = asyncio.Condition()
+        self._running = True
+        self._dispatch_task = asyncio.create_task(self._dispatch_loop())
+        return self
+
+    async def stop(self, *, drain: bool = True) -> None:
+        """Stop the service; with ``drain`` (default) finish open work.
+
+        Without ``drain``, queued-but-undispatched requests fail with
+        :class:`ServiceClosedError`; already-running solves are awaited
+        either way (threads cannot be interrupted safely).
+        """
+        if not self._running:
+            return
+        self._running = False
+        assert self._capacity is not None
+        if not drain:
+            while self._heap:
+                _, _, request = heapq.heappop(self._heap)
+                if request.dispatched:
+                    continue
+                request.dispatched = True
+                self._inflight.pop(request.key, None)
+                self._open_requests -= 1
+                self._queued -= 1
+                if not request.future.done():
+                    request.future.set_exception(
+                        ServiceClosedError("service stopped before dispatch")
+                    )
+            self.stats.note_queued(self._queued)
+            # Wake submit_many callers blocked on backpressure; their
+            # retry observes the stopped service and raises.
+            async with self._capacity:
+                self._capacity.notify_all()
+        while self._open_requests > 0:
+            async with self._capacity:
+                if self._open_requests == 0:
+                    break
+                await self._capacity.wait()
+        if self._dispatch_task is not None:
+            self._dispatch_task.cancel()
+            await asyncio.gather(self._dispatch_task, return_exceptions=True)
+            self._dispatch_task = None
+        if self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+        if self._thread_pool is not None:
+            self._thread_pool.shutdown(wait=True)
+            self._thread_pool = None
+        if self._process_pool is not None:
+            self._process_pool.shutdown(wait=True)
+            self._process_pool = None
+
+    async def __aenter__(self) -> "SolveService":
+        return await self.start()
+
+    async def __aexit__(self, *_exc_info) -> None:
+        await self.stop()
+
+    # -- the front end -------------------------------------------------------
+
+    def submit(
+        self,
+        source: Structure,
+        target: Structure,
+        *,
+        priority: Priority | int = Priority.NORMAL,
+        timeout: float | None = _UNSET,  # type: ignore[assignment]
+        width_threshold: int | None = None,
+        try_pebble_refutation: int | None = _UNSET,  # type: ignore[assignment]
+    ) -> Awaitable[Solution]:
+        """Admit one request; returns an awaitable of its ``Solution``.
+
+        Raises :class:`ServiceOverloadedError` synchronously when
+        admission control refuses (the returned awaitable is never
+        created), :class:`VocabularyError` for mismatched vocabularies.
+        Awaiting the result raises :class:`SolveTimeoutError` if the
+        per-request timeout elapses first.
+        """
+        try:
+            return self._submit(
+                source,
+                target,
+                priority=priority,
+                timeout=timeout,
+                width_threshold=width_threshold,
+                try_pebble_refutation=try_pebble_refutation,
+            )
+        except ServiceOverloadedError:
+            self.stats.rejected += 1
+            raise
+
+    async def submit_many(
+        self,
+        pairs: Iterable[tuple[Structure, Structure]],
+        *,
+        priority: Priority | int = Priority.NORMAL,
+        timeout: float | None = _UNSET,  # type: ignore[assignment]
+        width_threshold: int | None = None,
+        try_pebble_refutation: int | None = _UNSET,  # type: ignore[assignment]
+        return_exceptions: bool = False,
+    ) -> list[Solution]:
+        """Submit a batch and await all results (input order preserved).
+
+        Unlike :meth:`submit`, a full service applies *backpressure*
+        instead of rejecting: admission waits for capacity.  With
+        ``return_exceptions`` per-request failures (timeouts included)
+        come back in the result list instead of raising.
+        """
+        waiters: list[Awaitable[Solution]] = []
+        try:
+            for source, target in pairs:
+                while True:
+                    try:
+                        waiters.append(
+                            self._submit(
+                                source,
+                                target,
+                                priority=priority,
+                                timeout=timeout,
+                                width_threshold=width_threshold,
+                                try_pebble_refutation=try_pebble_refutation,
+                            )
+                        )
+                        break
+                    except ServiceOverloadedError:
+                        assert self._capacity is not None
+                        async with self._capacity:
+                            await self._capacity.wait()
+        except BaseException:
+            # Don't leak never-awaited waiter coroutines when a later
+            # admission fails; the already-admitted solves themselves
+            # keep running and resolve their futures normally.
+            for waiter in waiters:
+                waiter.close()  # type: ignore[attr-defined]
+            raise
+        return await asyncio.gather(
+            *waiters, return_exceptions=return_exceptions
+        )
+
+    def _submit(
+        self,
+        source: Structure,
+        target: Structure,
+        *,
+        priority: Priority | int,
+        timeout,
+        width_threshold: int | None,
+        try_pebble_refutation,
+    ) -> Awaitable[Solution]:
+        if not self._running or self._loop is None:
+            raise ServiceClosedError(
+                "service is not running; use 'async with SolveService()'"
+            )
+        if source.vocabulary != target.vocabulary:
+            raise VocabularyError(
+                "a homomorphism problem needs a common vocabulary"
+            )
+        config = self._config
+        if timeout is _UNSET:
+            timeout = config.default_timeout
+        options = {
+            "width_threshold": (
+                config.width_threshold
+                if width_threshold is None
+                else width_threshold
+            ),
+            "try_pebble_refutation": (
+                config.try_pebble_refutation
+                if try_pebble_refutation is _UNSET
+                else try_pebble_refutation
+            ),
+        }
+        # The coalescing key is computed here, on the loop thread, because
+        # admission and coalescing are synchronous by contract.  The
+        # per-structure digests are memoized, so the cost is paid once per
+        # Structure object; callers submitting very large *fresh*
+        # structures per request can pre-warm off-loop by calling
+        # canonical_fingerprint(structure) in an executor first.
+        key = (
+            instance_fingerprint(source, target),
+            options["width_threshold"],
+            options["try_pebble_refutation"],
+        )
+        self.stats.submitted += 1
+        existing = self._inflight.get(key)
+        if existing is not None:
+            self.stats.coalesce_hits += 1
+            if (
+                not existing.dispatched
+                and int(priority) < existing.priority
+            ):
+                # A higher-priority duplicate lifts the queued original:
+                # re-push at the better priority (the stale heap entry is
+                # skipped via the ``dispatched`` flag when it surfaces).
+                existing.priority = int(priority)
+                heapq.heappush(
+                    self._heap,
+                    (existing.priority, existing.seq, existing),
+                )
+            return self._wait(existing.future, timeout)
+        if self._open_requests >= config.max_pending:
+            raise ServiceOverloadedError(
+                f"{self._open_requests} open requests "
+                f"(max_pending={config.max_pending})"
+            )
+        request = _Request(
+            seq=next(self._seq),
+            key=key,
+            source=source,
+            target=target,
+            options=options,
+            priority=int(priority),
+            future=self._loop.create_future(),
+        )
+        request.future.add_done_callback(_consume_exception)
+        self._inflight[key] = request
+        self._open_requests += 1
+        self._queued += 1
+        heapq.heappush(self._heap, (request.priority, request.seq, request))
+        self.stats.note_queued(self._queued)
+        assert self._work_available is not None
+        self._work_available.set()
+        return self._wait(request.future, timeout)
+
+    async def _wait(
+        self, future: asyncio.Future, timeout: float | None
+    ) -> Solution:
+        """One waiter's view of a (possibly shared) computation.
+
+        The shield keeps a waiter's timeout from cancelling the
+        computation out from under coalesced duplicates.
+        """
+        try:
+            return await asyncio.wait_for(asyncio.shield(future), timeout)
+        except asyncio.TimeoutError:
+            self.stats.timeouts += 1
+            raise SolveTimeoutError(
+                f"solve did not finish within {timeout}s"
+            ) from None
+
+    # -- dispatch and execution ----------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        assert self._work_available is not None and self._slots is not None
+        while True:
+            await self._work_available.wait()
+            self._work_available.clear()
+            while self._heap:
+                await self._slots.acquire()
+                # Highest priority *at dispatch time*, FIFO within a
+                # priority class; stale entries left behind by priority
+                # bumps are skipped.
+                request = None
+                while self._heap:
+                    _, _, candidate = heapq.heappop(self._heap)
+                    if not candidate.dispatched:
+                        request = candidate
+                        break
+                if request is None:
+                    self._slots.release()
+                    break
+                request.dispatched = True
+                self._queued -= 1
+                self.stats.note_queued(self._queued)
+                task = asyncio.create_task(self._execute(request))
+                self._tasks.add(task)
+                task.add_done_callback(self._tasks.discard)
+
+    def _plan_and_maybe_solve(
+        self, request: _Request
+    ) -> tuple[str, float, Solution | None]:
+        """Runs on a worker thread: estimate, and solve if cheap.
+
+        Compiling the target through the sharded cache both feeds the
+        estimator and warms the cache every thread-backend solve of this
+        target will hit.
+        """
+        ctarget = self.cache.compiled_target(request.target)
+        cost = estimate_cost(request.source, request.target, ctarget=ctarget)
+        if (
+            self._process_pool is not None
+            and cost >= self._config.process_cost_threshold
+        ):
+            return "process", cost, None
+        solution = self.pipeline.solve(
+            request.source, request.target, **request.options
+        )
+        return "thread", cost, solution
+
+    async def _execute(self, request: _Request) -> None:
+        assert self._loop is not None and self._thread_pool is not None
+        try:
+            backend, _cost, solution = await self._loop.run_in_executor(
+                self._thread_pool, self._plan_and_maybe_solve, request
+            )
+            if solution is None:
+                assert self._process_pool is not None
+                solution = await self._loop.run_in_executor(
+                    self._process_pool,
+                    process_solve,
+                    request.source,
+                    request.target,
+                    request.options,
+                )
+            latency_ms = (time.perf_counter() - request.enqueued_at) * 1000
+            self.stats.note_completed(solution, latency_ms, backend)
+            if not request.future.done():
+                request.future.set_result(solution)
+        except Exception as exc:  # noqa: BLE001 — forwarded to the waiters
+            self.stats.failed += 1
+            if not request.future.done():
+                request.future.set_exception(exc)
+        finally:
+            self._inflight.pop(request.key, None)
+            self._open_requests -= 1
+            assert self._slots is not None and self._capacity is not None
+            self._slots.release()
+            async with self._capacity:
+                self._capacity.notify_all()

@@ -1,0 +1,166 @@
+"""Service-level observability: counters and per-route latency histograms.
+
+Builds on the existing per-solve machinery rather than replacing it:
+every :class:`~repro.core.pipeline.Solution` the service completes still
+carries its :class:`~repro.core.pipeline.SolveStats` (strategies
+consulted, cache traffic, timings), and :class:`ServiceStats` folds those
+into the service-wide picture — the per-route buckets are keyed by the
+solution's ``strategy`` label (collapsed through
+:func:`repro.core.strategies.base_route`), and the aggregate
+``solve_cache_hits`` / ``solve_cache_misses`` counters are the sums of
+the per-solution ``SolveStats`` counters.
+
+All mutation happens on the service's event-loop thread, so the counters
+need no locking.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.pipeline import Solution
+from repro.core.strategies import base_route, route_names
+
+__all__ = ["LatencyHistogram", "ServiceStats"]
+
+
+class LatencyHistogram:
+    """Latency samples (milliseconds) with nearest-rank percentiles.
+
+    Sample storage is capped: once ``max_samples`` is reached, new
+    samples overwrite old ones round-robin, bounding memory while keeping
+    the percentiles tracking recent traffic.  The total count keeps
+    counting past the cap.
+    """
+
+    DEFAULT_MAX_SAMPLES = 65536
+
+    __slots__ = ("_samples", "_max_samples", "_next", "count", "total_ms")
+
+    def __init__(self, max_samples: int = DEFAULT_MAX_SAMPLES) -> None:
+        if max_samples < 1:
+            raise ValueError("max_samples must be positive")
+        self._samples: list[float] = []
+        self._max_samples = max_samples
+        self._next = 0
+        self.count = 0
+        self.total_ms = 0.0
+
+    def record(self, latency_ms: float) -> None:
+        self.count += 1
+        self.total_ms += latency_ms
+        if len(self._samples) < self._max_samples:
+            self._samples.append(latency_ms)
+        else:
+            self._samples[self._next] = latency_ms
+            self._next = (self._next + 1) % self._max_samples
+
+    def percentiles(self, *qs: float) -> tuple[float, ...]:
+        """Nearest-rank percentiles (``0 < q <= 100``), one shared sort."""
+        if not self._samples:
+            return tuple(0.0 for _ in qs)
+        ordered = sorted(self._samples)
+        return tuple(
+            ordered[max(1, math.ceil(q / 100.0 * len(ordered))) - 1]
+            for q in qs
+        )
+
+    def percentile(self, q: float) -> float:
+        """The nearest-rank ``q``-th percentile (``0 < q <= 100``)."""
+        return self.percentiles(q)[0]
+
+    @property
+    def mean_ms(self) -> float:
+        return self.total_ms / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict[str, float]:
+        p50, p95, p99 = self.percentiles(50, 95, 99)
+        return {
+            "count": self.count,
+            "mean_ms": round(self.mean_ms, 4),
+            "p50_ms": round(p50, 4),
+            "p95_ms": round(p95, 4),
+            "p99_ms": round(p99, 4),
+        }
+
+
+@dataclass
+class ServiceStats:
+    """Cumulative counters and histograms of one :class:`SolveService`.
+
+    ``queue_depth`` is the current number of requests admitted but not
+    yet dispatched; ``max_queue_depth`` its high-water mark.  A
+    "coalesce hit" is a submit that attached to an in-flight duplicate
+    instead of enqueuing work; ``rejected`` counts admission-control
+    refusals, ``timeouts`` waiters that gave up (the underlying
+    computation keeps running for any remaining waiters).
+    """
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    rejected: int = 0
+    timeouts: int = 0
+    coalesce_hits: int = 0
+    queue_depth: int = 0
+    max_queue_depth: int = 0
+    thread_solves: int = 0
+    process_solves: int = 0
+    solve_cache_hits: int = 0
+    solve_cache_misses: int = 0
+    #: End-to-end (admission → completion) latency per route; pre-seeded
+    #: with every built-in route so snapshots enumerate them all.
+    route_latency: dict[str, LatencyHistogram] = field(
+        default_factory=lambda: {
+            name: LatencyHistogram() for name in route_names()
+        }
+    )
+    #: End-to-end latency across all routes.
+    latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+
+    def note_queued(self, depth: int) -> None:
+        self.queue_depth = depth
+        if depth > self.max_queue_depth:
+            self.max_queue_depth = depth
+
+    def note_completed(
+        self, solution: Solution, latency_ms: float, backend: str
+    ) -> None:
+        """Fold one finished solve into the service-wide picture."""
+        self.completed += 1
+        if backend == "process":
+            self.process_solves += 1
+        else:
+            self.thread_solves += 1
+        if solution.stats is not None:
+            self.solve_cache_hits += solution.stats.cache_hits
+            self.solve_cache_misses += solution.stats.cache_misses
+        route = base_route(solution.strategy)
+        histogram = self.route_latency.get(route)
+        if histogram is None:
+            histogram = self.route_latency[route] = LatencyHistogram()
+        histogram.record(latency_ms)
+        self.latency.record(latency_ms)
+
+    def snapshot(self) -> dict:
+        """A JSON-ready view (the benchmark dumps this verbatim)."""
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "rejected": self.rejected,
+            "timeouts": self.timeouts,
+            "coalesce_hits": self.coalesce_hits,
+            "queue_depth": self.queue_depth,
+            "max_queue_depth": self.max_queue_depth,
+            "thread_solves": self.thread_solves,
+            "process_solves": self.process_solves,
+            "solve_cache_hits": self.solve_cache_hits,
+            "solve_cache_misses": self.solve_cache_misses,
+            "latency": self.latency.snapshot(),
+            "routes": {
+                route: histogram.snapshot()
+                for route, histogram in sorted(self.route_latency.items())
+            },
+        }

@@ -1,0 +1,64 @@
+"""Process-pool worker side of the solve service.
+
+Each worker process owns one long-lived :class:`SolverPipeline` with its
+own :class:`StructureCache`, so compiled targets, Schaefer
+classifications, and tree decompositions are reused across every request
+the pool routes to that worker — the per-target amortization the service
+is built around survives the process hop.
+
+Structures arrive pickled.  ``Structure.__getstate__`` deliberately
+drops the compiled-kernel memo slots (see
+:mod:`repro.structures.structure`), so the payload is the mathematical
+content only and the worker recompiles lazily into its own cache on
+first use.  The returned :class:`~repro.core.pipeline.Solution` — the
+assignment, the winning strategy label, and the per-solve
+:class:`~repro.core.pipeline.SolveStats` — pickles back to the service,
+which folds the stats into its service-wide counters.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.pipeline import Solution, SolverPipeline, StructureCache
+from repro.structures.structure import Structure
+
+__all__ = ["process_solve", "worker_pid", "worker_initializer"]
+
+#: The worker's long-lived pipeline, created by :func:`worker_initializer`
+#: (or lazily on the first solve if the pool was built without one).
+_pipeline: SolverPipeline | None = None
+_cache_maxsize: int = StructureCache.DEFAULT_MAXSIZE
+
+
+def worker_initializer(
+    cache_maxsize: int = StructureCache.DEFAULT_MAXSIZE,
+) -> None:
+    """Build this worker's pipeline up front (runs in the pool worker)."""
+    global _pipeline, _cache_maxsize
+    _cache_maxsize = cache_maxsize
+    _pipeline = SolverPipeline(cache=StructureCache(cache_maxsize))
+
+
+def _get_pipeline() -> SolverPipeline:
+    global _pipeline
+    if _pipeline is None:
+        _pipeline = SolverPipeline(cache=StructureCache(_cache_maxsize))
+    return _pipeline
+
+
+def process_solve(
+    source: Structure, target: Structure, options: dict
+) -> Solution:
+    """Solve one instance on this worker's pipeline.
+
+    ``options`` carries the pipeline solve keywords
+    (``width_threshold`` / ``try_pebble_refutation``) as a plain dict so
+    the call pickles without dragging service types into the worker.
+    """
+    return _get_pipeline().solve(source, target, **options)
+
+
+def worker_pid() -> int:
+    """Identify the worker (used to pre-spawn and health-check the pool)."""
+    return os.getpid()

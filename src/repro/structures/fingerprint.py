@@ -25,7 +25,7 @@ from typing import Any
 
 from repro.structures.structure import Structure
 
-__all__ = ["canonical_fingerprint"]
+__all__ = ["canonical_fingerprint", "instance_fingerprint"]
 
 
 def _token(value: Any) -> bytes:
@@ -62,3 +62,20 @@ def canonical_fingerprint(structure: Structure) -> str:
     result = digest.hexdigest()
     structure._fingerprint = result
     return result
+
+
+def instance_fingerprint(source: Structure, target: Structure) -> str:
+    """A stable digest identifying the *instance* (A, B) up to equality.
+
+    The solve service coalesces duplicate in-flight requests under this
+    key (combined with the solve options): two structurally equal
+    instances — typically the same query text parsed twice from two
+    connections — share one computation.  Hashing the two per-structure
+    digests (each memoized on its structure) keeps the combination
+    length-safe and order-sensitive: (A, B) and (B, A) never collide.
+    """
+    digest = hashlib.sha256()
+    digest.update(canonical_fingerprint(source).encode())
+    digest.update(b"->")
+    digest.update(canonical_fingerprint(target).encode())
+    return digest.hexdigest()

@@ -35,7 +35,7 @@ from typing import Hashable, Iterator, Mapping, Sequence
 
 from repro.exceptions import VocabularyError
 from repro.kernel.engine import LEGACY, resolve_engine
-from repro.kernel.search import search_homomorphisms
+from repro.kernel.search import count_solutions, search_homomorphisms
 from repro.structures.structure import Structure, _sort_key
 
 __all__ = [
@@ -323,14 +323,21 @@ def count_homomorphisms(
     """The number of homomorphisms ``source → target``.
 
     Accepts and propagates the same ``order=`` / ``stats=`` / ``engine=``
-    keywords as :func:`find_homomorphism`.
+    keywords as :func:`find_homomorphism`.  On the kernel engine the
+    count comes from :func:`repro.kernel.search.count_solutions`, which
+    walks the identical search tree but only tallies the leaves instead
+    of materializing one assignment dict per homomorphism; the legacy
+    engine counts by exhausting the reference enumerator.
     """
-    return sum(
-        1
-        for _ in all_homomorphisms(
-            source, target, order=order, stats=stats, engine=engine
+    _check_same_vocabulary(source, target)
+    if source.universe and not target.universe:
+        return 0
+    stats = stats if stats is not None else SearchStats()
+    if resolve_engine(engine) == LEGACY:
+        return sum(
+            1 for _ in _search(source, target, stats=stats, order=order)
         )
-    )
+    return count_solutions(source, target, stats=stats, order=order)
 
 
 def image(

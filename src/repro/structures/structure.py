@@ -180,6 +180,34 @@ class Structure:
                 index[element].append((name, fact, position))
         return index
 
+    # -- pickling -------------------------------------------------------------
+
+    def __getstate__(self) -> dict[str, Any]:
+        """Pickle only the mathematical content, not the memo slots.
+
+        The compiled-kernel memos (``_compiled_source`` /
+        ``_compiled_target``) hold the full bitset index of the structure —
+        shipping them to a process-pool worker would multiply the payload
+        for data the worker can rebuild in linear time; they also must not
+        alias across processes.  The fingerprint is a small stable string,
+        so it *is* kept: the worker's cache lookups reuse it directly.
+        """
+        return {
+            "_vocabulary": self._vocabulary,
+            "_universe": self._universe,
+            "_relations": self._relations,
+            "_fingerprint": self._fingerprint,
+        }
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self._vocabulary = state["_vocabulary"]
+        self._universe = state["_universe"]
+        self._relations = state["_relations"]
+        self._fingerprint = state.get("_fingerprint")
+        self._hash = None
+        self._compiled_source = None
+        self._compiled_target = None
+
     # -- equality / hashing -----------------------------------------------------
 
     def __eq__(self, other: object) -> bool:

@@ -1,0 +1,108 @@
+"""Pickling of structures and compiled kernel objects (process workers)."""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.core.pipeline import SolverPipeline
+from repro.csp.generators import random_structure
+from repro.kernel.compile import compile_source, compile_target
+from repro.structures.fingerprint import canonical_fingerprint
+from repro.structures.structure import Structure
+from repro.structures.vocabulary import Vocabulary
+
+BINARY = Vocabulary.from_arities({"R": 2, "S": 1})
+
+
+def example_structure(seed: int = 0) -> Structure:
+    return random_structure(BINARY, 6, 10, seed=seed)
+
+
+class TestStructurePickling:
+    def test_round_trip_equality(self):
+        structure = example_structure()
+        clone = pickle.loads(pickle.dumps(structure))
+        assert clone == structure
+        assert hash(clone) == hash(structure)
+        assert canonical_fingerprint(clone) == canonical_fingerprint(
+            structure
+        )
+
+    def test_fingerprint_memo_survives(self):
+        structure = example_structure()
+        fingerprint = canonical_fingerprint(structure)
+        clone = pickle.loads(pickle.dumps(structure))
+        # Shipped, not recomputed: the memo slot is already populated.
+        assert clone._fingerprint == fingerprint
+
+    def test_compiled_memos_are_dropped(self):
+        structure = example_structure()
+        compile_source(structure)
+        compile_target(structure)
+        assert structure._compiled_source is not None
+        assert structure._compiled_target is not None
+        clone = pickle.loads(pickle.dumps(structure))
+        assert clone._compiled_source is None
+        assert clone._compiled_target is None
+
+    def test_memo_drop_shrinks_payload(self):
+        structure = example_structure()
+        plain = len(pickle.dumps(structure))
+        compile_source(structure)
+        compile_target(structure)
+        compiled = len(pickle.dumps(structure))
+        # The compiled bitset index never rides along.
+        assert compiled == plain
+
+    def test_recompiles_lazily_after_round_trip(self):
+        structure = example_structure()
+        original = compile_target(structure)
+        clone = pickle.loads(pickle.dumps(structure))
+        recompiled = compile_target(clone)
+        assert recompiled is not original
+        # Value numbering is canonical (sorted universe); tuple *bit*
+        # numbering follows set iteration order, which pickling may
+        # permute — compare the order-insensitive views.
+        assert recompiled.values == original.values
+        assert recompiled.position_masks == original.position_masks
+        assert recompiled.all_tuples_masks == original.all_tuples_masks
+        for name, rows in original.tuples.items():
+            assert set(recompiled.tuples[name]) == set(rows)
+
+
+class TestCompiledObjectPickling:
+    def test_compiled_target_round_trip(self):
+        structure = example_structure(3)
+        compiled = compile_target(structure)
+        clone = pickle.loads(pickle.dumps(compiled))
+        assert clone.values == compiled.values
+        assert clone.value_index == compiled.value_index
+        assert clone.tuples == compiled.tuples
+        assert clone.supports == compiled.supports
+        assert clone.position_masks == compiled.position_masks
+        assert clone.all_tuples_masks == compiled.all_tuples_masks
+        assert clone.full_mask == compiled.full_mask
+        assert clone.structure == structure
+
+    def test_compiled_source_round_trip(self):
+        structure = example_structure(4)
+        compiled = compile_source(structure)
+        clone = pickle.loads(pickle.dumps(compiled))
+        assert clone.variables == compiled.variables
+        assert clone.var_index == compiled.var_index
+        assert clone.constraints == compiled.constraints
+        assert clone.constraints_of == compiled.constraints_of
+        assert clone.degrees == compiled.degrees
+        assert clone.degree_order == compiled.degree_order
+
+
+class TestSolutionPickling:
+    def test_solution_with_stats_round_trips(self):
+        source = example_structure(1)
+        target = example_structure(2)
+        solution = SolverPipeline().solve(source, target)
+        clone = pickle.loads(pickle.dumps(solution))
+        assert clone.homomorphism == solution.homomorphism
+        assert clone.strategy == solution.strategy
+        assert clone.stats.attempted == solution.stats.attempted
+        assert clone.stats.cache_misses == solution.stats.cache_misses

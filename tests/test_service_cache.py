@@ -1,0 +1,139 @@
+"""Thread-safety of StructureCache and the service's sharded cache."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.boolean.schaefer import classify_structure
+from repro.core.pipeline import CacheTally, SolverPipeline, StructureCache
+from repro.csp.generators import random_schaefer_target, random_structure
+from repro.service import ShardedStructureCache
+from repro.structures.structure import Structure
+from repro.structures.vocabulary import Vocabulary
+
+BINARY = Vocabulary.from_arities({"R": 2})
+
+
+def boolean_targets(count: int) -> list[Structure]:
+    return [
+        random_schaefer_target(BINARY, 3, "horn", seed=seed)
+        for seed in range(count)
+    ]
+
+
+def sources(count: int) -> list[Structure]:
+    return [
+        random_structure(BINARY, 5 + seed % 4, 8, seed=seed)
+        for seed in range(count)
+    ]
+
+
+class TestStructureCacheThreadSafety:
+    def hammer(self, cache, targets, srcs, rounds: int, errors: list) -> None:
+        try:
+            for i in range(rounds):
+                target = targets[i % len(targets)]
+                assert cache.classification(target) == classify_structure(
+                    target
+                )
+                source = srcs[(i * 7) % len(srcs)]
+                cache.decomposition(source)
+                compiled = cache.compiled_target(target)
+                assert compiled.structure == target
+        except Exception as exc:  # pragma: no cover - only on failure
+            errors.append(exc)
+
+    def run_threads(self, cache, *, threads: int = 8, rounds: int = 200):
+        targets = boolean_targets(6)
+        srcs = sources(6)
+        errors: list = []
+        workers = [
+            threading.Thread(
+                target=self.hammer, args=(cache, targets, srcs, rounds, errors)
+            )
+            for _ in range(threads)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert not errors
+        return threads * rounds
+
+    def test_concurrent_hammering_stays_consistent(self):
+        cache = StructureCache()
+        rounds = self.run_threads(cache)
+        stats = cache.stats
+        # Every lookup is either a hit or a miss, none lost to races
+        # (three lookups per hammer round).
+        assert stats.hits + stats.misses == 3 * rounds
+
+    def test_concurrent_eviction_churn(self):
+        # A tiny cache forces constant LRU eviction under contention.
+        cache = StructureCache(maxsize=2)
+        self.run_threads(cache, threads=6, rounds=150)
+        assert len(cache) <= 3 * 2
+
+    def test_tally_counts_only_own_traffic(self):
+        cache = StructureCache()
+        target = boolean_targets(1)[0]
+        warm = CacheTally()
+        cache.classification(target, tally=warm)
+        assert (warm.hits, warm.misses) == (0, 1)
+        mine = CacheTally()
+        cache.classification(target, tally=mine)
+        assert (mine.hits, mine.misses) == (1, 0)
+        # The other tally was not touched by my lookup.
+        assert (warm.hits, warm.misses) == (0, 1)
+
+
+class TestShardedStructureCache:
+    def test_shard_routing_is_deterministic(self):
+        cache = ShardedStructureCache(4)
+        for target in boolean_targets(10):
+            assert cache.shard_for(target) is cache.shard_for(target)
+
+    def test_same_object_returned_across_lookups(self):
+        cache = ShardedStructureCache(4)
+        target = boolean_targets(1)[0]
+        rebuilt = Structure(
+            target.vocabulary, target.universe,
+            {"R": target.relation("R")},
+        )
+        assert cache.compiled_target(target) is cache.compiled_target(rebuilt)
+
+    def test_aggregate_stats_len_and_clear(self):
+        from repro.structures.fingerprint import canonical_fingerprint
+
+        cache = ShardedStructureCache(4)
+        targets = boolean_targets(8)
+        # Seeded generation may repeat a target after closure; the cache
+        # keys (and therefore the counters) see distinct structures only.
+        unique = len({canonical_fingerprint(t) for t in targets})
+        for target in targets:
+            cache.classification(target)
+        for target in targets:
+            cache.classification(target)
+        stats = cache.stats
+        assert stats.misses == unique
+        assert stats.hits == 2 * len(targets) - unique
+        assert len(cache) == unique
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 0
+
+    def test_concurrent_hammering(self):
+        cache = ShardedStructureCache(4)
+        TestStructureCacheThreadSafety().run_threads(cache, threads=6)
+
+    def test_pipeline_accepts_sharded_cache(self):
+        cache = ShardedStructureCache(2)
+        pipeline = SolverPipeline(cache=cache)
+        source = random_structure(BINARY, 6, 10, seed=1)
+        target = random_schaefer_target(BINARY, 3, "horn", seed=2)
+        first = pipeline.solve(source, target)
+        second = pipeline.solve(source, target)
+        assert first.exists == second.exists
+        # The second solve's analyses all hit the sharded cache.
+        assert second.stats.cache_misses == 0
+        assert second.stats.cache_hits >= 1
