@@ -91,6 +91,55 @@ def treewidth_instance(n: int, width: int, *, seed: int = 0):
     return structure, clique(3), TreeDecomposition(bags, tree_edges)
 
 
+def bounded_treewidth_family(
+    *,
+    widths: tuple[int, ...] = (2, 3, 4),
+    n: int = 36,
+    seed: int = 0,
+):
+    """Seeded width-bounded instances with certificates, widths 2–4.
+
+    Returns ``(label, source, target, decomposition)`` tuples — one
+    instance per width, each a random partial k-tree against a clique
+    one color larger than the width would need in the dense case, so
+    both satisfiable and refutable instances occur across seeds.  This
+    is the family the decomposition-kernel benchmarks (P4) and the
+    service mix use to exercise the DP route at every supported width.
+    """
+    from repro.structures.graphs import clique
+    from repro.treewidth.decomposition import TreeDecomposition
+
+    family = []
+    for width in widths:
+        structure, bags, tree_edges = bounded_treewidth_structure(
+            n, width, edge_keep_probability=0.9, seed=seed + width
+        )
+        family.append(
+            (
+                f"ktree-w{width}",
+                structure,
+                clique(min(width + 1, 4)),
+                TreeDecomposition(bags, tree_edges),
+            )
+        )
+    return family
+
+
+def pebble_two_coloring_instance(n: int, p: float = 0.15, *, seed: int = 0):
+    """A dense graph against a *non-Boolean* two-element clique.
+
+    Relabeling K2's universe keeps the Schaefer islands from claiming
+    the target, so the instance reaches the width-aware planner: the
+    source's width blows past any threshold while the two-value target
+    keeps the k-pebble closure cheap — the planner's pebble route, where
+    the k=3 game refutes the (almost surely present) odd cycles.
+    """
+    from repro.structures.graphs import clique
+
+    target = clique(2).rename_elements({0: "c0", 1: "c1"})
+    return random_graph(n, p, seed=seed), target
+
+
 def containment_pair(size: int, *, seed: int = 0):
     """A two-atom Q1 with a general Q2, both over ``size`` predicates."""
     q1 = random_two_atom_query(size, size + 2, seed=seed)
@@ -142,6 +191,15 @@ def mixed_service_workload(
             treewidth_n, 2, seed=s
         )
         instances.append(("treewidth", structure, target))
+        # The width 2-4 bounded-treewidth family: the service's DP route
+        # at every width the default threshold admits (and one past it).
+        for label, ktree, ktarget, _cert in bounded_treewidth_family(
+            n=treewidth_n, seed=s
+        ):
+            instances.append((label, ktree, ktarget))
+        instances.append(
+            ("pebble-2col", *pebble_two_coloring_instance(40, seed=s))
+        )
         query = random_chain_query(chain_length, seed=s)
         instances.append(
             (

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Print the experiment report: one table per experiment E1–E15, P1, P2.
+"""Print the experiment report: one table per experiment E1–E15, P1–P4.
 
 This is the "rows/series" harness of EXPERIMENTS.md: each table reports
 wall-clock medians for every algorithm on the shared workloads of
@@ -8,7 +8,10 @@ can be read off directly.  pytest-benchmark gives the statistically
 careful numbers; this runner gives the at-a-glance reproduction report.
 P1 exercises the solver pipeline itself (routing overhead, fingerprint
 cache, ``solve_many``); P2 compares the compiled bitset kernel against
-the legacy pure-dict solver on the backtracking-heavy workloads.
+the legacy pure-dict solver on the backtracking-heavy workloads; P4
+does the same for the decomposition kernel — the compiled treewidth DP
+(E10) and the generalized k-pebble engine (E8) — see
+``bench_p04_decomp.py`` for the full version with planner routing.
 
 Run:  python benchmarks/run_all.py [--repeat 3] [--json out.json]
 
@@ -439,6 +442,52 @@ def p02() -> None:
     )
 
 
+def p04() -> None:
+    """The decomposition kernel vs legacy: treewidth DP and k-pebble."""
+    from repro.kernel import use_engine
+    from _workloads import bounded_treewidth_family
+
+    workloads = []
+    for label, source, target, certificate in bounded_treewidth_family(
+        n=40, seed=40
+    ):
+        workloads.append(
+            (
+                f"E10 {label} K{len(target)}",
+                # bind loop variables now, not at call time
+                lambda s=source, t=target, d=certificate: solve_by_treewidth(
+                    s, t, d
+                ),
+            )
+        )
+    for n in (6, 8):
+        source, target = W.two_coloring_instance(n, seed=n)
+        workloads.append(
+            (
+                f"E8 pebble k=3 n={n}",
+                lambda s=source, t=target: spoiler_wins(s, t, 3),
+            )
+        )
+        workloads.append(
+            (
+                f"E8 tables k=3 n={n}",
+                lambda s=source, t=target: strong_k_consistent(s, t, 3),
+            )
+        )
+    rows = []
+    for label, fn in workloads:
+        with use_engine("kernel"):
+            kernel = timed(fn)
+        with use_engine("legacy"):
+            legacy = timed(fn)
+        rows.append([label, ms(kernel), ms(legacy), ratio(legacy / kernel)])
+    table(
+        "P4 decomposition kernel vs legacy (E8/E10)",
+        ["workload", "kernel", "legacy", "speedup"],
+        rows,
+    )
+
+
 def main() -> None:
     global REPEAT
     parser = argparse.ArgumentParser(description=__doc__)
@@ -455,7 +504,7 @@ def main() -> None:
     print("(median wall-clock per call; see EXPERIMENTS.md for shapes)")
     for experiment in (
         e01, e03, e04, e05_e06, e07, e08, e09, e10_e11, e12, e13, e14,
-        e15, p01, p02,
+        e15, p01, p02, p04,
     ):
         experiment()
     if args.json is not None:

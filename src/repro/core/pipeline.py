@@ -51,7 +51,7 @@ from repro.kernel.compile import CompiledTarget, compile_target
 from repro.structures.fingerprint import canonical_fingerprint
 from repro.structures.structure import Structure
 from repro.treewidth.decomposition import TreeDecomposition
-from repro.treewidth.heuristics import decompose
+from repro.treewidth.heuristics import cached_decomposition
 
 __all__ = [
     "DEFAULT_WIDTH_THRESHOLD",
@@ -95,12 +95,20 @@ class SolveStats:
         Wall-clock milliseconds: one ``"applies:<name>"`` entry per
         consulted strategy, one ``"run:<name>"`` entry for the winner, and
         ``"total"`` for the whole solve.
+    plan:
+        The width-aware planner's routing decision
+        (:meth:`repro.kernel.estimate.Plan.as_dict`) when the solve ran
+        with ``plan=True`` and the planner strategy decided the instance;
+        ``None`` otherwise.  This is what makes the engine choice —
+        search vs. DP vs. pebble, and the cost signals behind it —
+        observable per solve.
     """
 
     attempted: tuple[str, ...] = ()
     cache_hits: int = 0
     cache_misses: int = 0
     timings: Mapping[str, float] = field(default_factory=dict)
+    plan: Mapping[str, object] | None = None
 
 
 @dataclass(frozen=True)
@@ -254,7 +262,7 @@ class StructureCache:
         return self._lookup(
             self._decompositions,
             canonical_fingerprint(source),
-            lambda: decompose(source),
+            lambda: cached_decomposition(source),
             tally,
         )
 
@@ -289,6 +297,8 @@ class SolveContext:
     cache: StructureCache
     width_threshold: int = DEFAULT_WIDTH_THRESHOLD
     pebble_k: int | None = None
+    #: Whether the width-aware planner strategy may claim this solve.
+    plan_enabled: bool = False
     scratch: dict[str, object] = field(default_factory=dict)
     #: This solve's own cache traffic (the shared cache's global counters
     #: also see every *other* concurrent solve).
@@ -443,6 +453,7 @@ class SolverPipeline:
         *,
         width_threshold: int = DEFAULT_WIDTH_THRESHOLD,
         try_pebble_refutation: int | None = None,
+        plan: bool = False,
     ) -> Solution:
         """Decide ``source → target`` with the first applicable route.
 
@@ -455,6 +466,11 @@ class SolverPipeline:
             If set to ``k``, run the existential k-pebble game before
             backtracking; a Spoiler win refutes the instance outright
             (sound by Theorem 4.8's easy direction).
+        plan:
+            Let the width-aware planner strategy claim instances that
+            fall past the Schaefer islands: it chooses search vs. DP vs.
+            pebble from predicted costs, and the decision lands in
+            ``Solution.stats.plan``.
 
         Returns
         -------
@@ -470,6 +486,7 @@ class SolverPipeline:
             cache=self.cache,
             width_threshold=width_threshold,
             pebble_k=try_pebble_refutation,
+            plan_enabled=plan,
         )
         attempted: list[str] = []
         timings: dict[str, float] = {}
@@ -502,6 +519,7 @@ class SolverPipeline:
             cache_hits=context.tally.hits,
             cache_misses=context.tally.misses,
             timings=timings,
+            plan=context.scratch.get("plan"),  # type: ignore[arg-type]
         )
         return replace(solution, stats=stats)
 
@@ -511,6 +529,7 @@ class SolverPipeline:
         *,
         width_threshold: int = DEFAULT_WIDTH_THRESHOLD,
         try_pebble_refutation: int | None = None,
+        plan: bool = False,
     ) -> list[Solution]:
         """Decide a batch of instances, amortizing per-target analysis.
 
@@ -535,6 +554,7 @@ class SolverPipeline:
                     target,
                     width_threshold=width_threshold,
                     try_pebble_refutation=try_pebble_refutation,
+                    plan=plan,
                 )
         return solutions  # type: ignore[return-value]
 
@@ -560,18 +580,21 @@ def solve(
     *,
     width_threshold: int = DEFAULT_WIDTH_THRESHOLD,
     try_pebble_refutation: int | None = None,
+    plan: bool = False,
 ) -> Solution:
     """Decide ``source → target`` on the default pipeline.
 
     Drop-in replacement for the seed dispatcher: routing decisions and
-    strategy names are unchanged; the returned :class:`Solution`
-    additionally carries :class:`SolveStats`.
+    strategy names are unchanged (``plan=True`` opts into the
+    width-aware planner); the returned :class:`Solution` additionally
+    carries :class:`SolveStats`.
     """
     return default_pipeline().solve(
         source,
         target,
         width_threshold=width_threshold,
         try_pebble_refutation=try_pebble_refutation,
+        plan=plan,
     )
 
 
@@ -580,10 +603,12 @@ def solve_many(
     *,
     width_threshold: int = DEFAULT_WIDTH_THRESHOLD,
     try_pebble_refutation: int | None = None,
+    plan: bool = False,
 ) -> list[Solution]:
     """Batch-decide instances on the default pipeline (shared cache)."""
     return default_pipeline().solve_many(
         pairs,
         width_threshold=width_threshold,
         try_pebble_refutation=try_pebble_refutation,
+        plan=plan,
     )

@@ -19,6 +19,7 @@ from repro.core.strategies.bijunctive import BijunctiveStrategy
 from repro.core.strategies.dual_horn import DualHornStrategy
 from repro.core.strategies.horn import HornStrategy
 from repro.core.strategies.pebble import PebbleRefutationStrategy
+from repro.core.strategies.planner import WidthPlannerStrategy
 from repro.core.strategies.treewidth import TreewidthStrategy
 from repro.core.strategies.trivial import (
     OneValidStrategy,
@@ -34,6 +35,7 @@ __all__ = [
     "OneValidStrategy",
     "PebbleRefutationStrategy",
     "TreewidthStrategy",
+    "WidthPlannerStrategy",
     "ZeroValidStrategy",
     "base_route",
     "default_strategies",
@@ -50,6 +52,7 @@ def default_strategies():
         DualHornStrategy(),
         BijunctiveStrategy(),
         AffineStrategy(),
+        WidthPlannerStrategy(),
         TreewidthStrategy(),
         PebbleRefutationStrategy(),
         BacktrackingStrategy(),

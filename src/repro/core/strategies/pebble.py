@@ -7,17 +7,17 @@ this test is also complete (Theorem 4.8).  The route is opt-in (set
 wins, so it never claims an instance it cannot decide; otherwise the
 pipeline falls through to backtracking, exactly like the seed dispatcher.
 
-For ``k = 2`` the game is played on the compiled bitset kernel
-(:func:`repro.kernel.spoiler_wins_k2` — arc consistency over pair
-supports, reusing the cached target compilation) instead of the generic
-O(n^{2k}) family fixpoint; the two verdicts agree on every instance.
+The game is played on the generalized compiled k-pebble engine
+(:func:`repro.kernel.pebblek.spoiler_wins_k` — bitset tables over
+≤ k-subassignments, reusing the cached target compilation) for *every*
+``k``, not just the old ``k = 2`` fast path; the kernel verdict agrees
+with the legacy family fixpoint on every instance.
 """
 
 from __future__ import annotations
 
 from repro.core.pipeline import Solution, SolveContext
-from repro.kernel.pebble2 import spoiler_wins_k2
-from repro.pebble.game import spoiler_wins
+from repro.kernel.pebblek import spoiler_wins_k
 from repro.structures.structure import Structure
 
 __all__ = ["PebbleRefutationStrategy"]
@@ -31,9 +31,9 @@ class PebbleRefutationStrategy:
     def _spoiler_wins(
         self, source: Structure, target: Structure, context: SolveContext
     ) -> bool:
-        if context.pebble_k == 2:
-            return spoiler_wins_k2(source, context.compiled_target(target))
-        return spoiler_wins(source, target, context.pebble_k)
+        return spoiler_wins_k(
+            source, context.compiled_target(target), context.pebble_k
+        )
 
     def applies(
         self, source: Structure, target: Structure, context: SolveContext

@@ -4,14 +4,17 @@ If a greedy decomposition of the *source* has width at most the
 configured threshold, the homomorphism problem is decided by dynamic
 programming over the decomposition in time O(‖B‖^{w+1}) — polynomial for
 each fixed width.  The decomposition is computed via the pipeline's
-structure cache, so a source reused across solves is decomposed once.
+structure cache, so a source reused across solves is decomposed once,
+and the DP runs on the compiled kernel (:mod:`repro.kernel.decomp`)
+against the cached target compilation — the same amortization story as
+the backtracking strategy.
 """
 
 from __future__ import annotations
 
 from repro.core.pipeline import Solution, SolveContext
+from repro.kernel.decomp import solve_decomposition
 from repro.structures.structure import Structure
-from repro.treewidth.dp import solve_by_treewidth
 
 __all__ = ["TreewidthStrategy"]
 
@@ -33,6 +36,8 @@ class TreewidthStrategy:
     ) -> Solution:
         decomposition = context.decomposition(source)
         return Solution(
-            solve_by_treewidth(source, target, decomposition),
+            solve_decomposition(
+                source, context.compiled_target(target), decomposition
+            ),
             f"{self.name}(width={decomposition.width})",
         )

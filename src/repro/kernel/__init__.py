@@ -17,11 +17,17 @@ problem:
   same ``SearchStats``), the :func:`solve` fast path used by the
   pipeline strategies, and the :func:`count_solutions` leaf-tally count
   mode behind ``count_homomorphisms``;
-* :mod:`repro.kernel.estimate` — the cheap cost model over compiled
-  sizes that the solve service uses to route a request to its thread or
-  process backend;
-* :mod:`repro.kernel.pebble2` — the existential 2-pebble game as bitset
-  arc consistency (the ``k = 2`` fast path of the pebble strategy);
+* :mod:`repro.kernel.decomp` — the Theorem 5.4 dynamic program compiled
+  to int-coded bag tables over a nice tree decomposition, with
+  support-bitset semijoins and top-down witness reconstruction;
+* :mod:`repro.kernel.pebblek` — the generalized existential k-pebble
+  game: bitset tables over ≤ k-subassignments with worklist propagation
+  and AC-2001-style residuals (replacing the old ``k = 2``-only
+  ``pebble2`` fast path — ``spoiler_wins_k2`` remains as an alias);
+* :mod:`repro.kernel.estimate` — the width-aware planner: cheap cost
+  models over compiled sizes, width and Gaifman-degree estimates, and
+  the search/DP/pebble route choice the pipeline's planner strategy and
+  the solve service's thread/process routing consume;
 * :mod:`repro.kernel.engine` — the kernel/legacy flag keeping the
   reference implementations available as the parity oracle.
 """
@@ -41,8 +47,14 @@ from repro.kernel.engine import (
     set_default_engine,
     use_engine,
 )
-from repro.kernel.estimate import estimate_cost
-from repro.kernel.pebble2 import spoiler_wins_k2
+from repro.kernel.decomp import decomposition_exists, solve_decomposition
+from repro.kernel.estimate import Plan, estimate_cost, plan_instance
+from repro.kernel.pebblek import (
+    kernel_consistency_tables,
+    pebble_game_family,
+    spoiler_wins_k,
+    spoiler_wins_k2,
+)
 from repro.kernel.propagate import propagate
 from repro.kernel.search import count_solutions, search_homomorphisms, solve
 
@@ -51,17 +63,24 @@ __all__ = [
     "LEGACY",
     "CompiledSource",
     "CompiledTarget",
+    "Plan",
     "compile_source",
     "compile_target",
     "count_solutions",
+    "decomposition_exists",
     "default_engine",
     "estimate_cost",
     "initial_domains",
+    "kernel_consistency_tables",
+    "pebble_game_family",
+    "plan_instance",
     "propagate",
     "resolve_engine",
     "search_homomorphisms",
     "set_default_engine",
     "solve",
+    "solve_decomposition",
+    "spoiler_wins_k",
     "spoiler_wins_k2",
     "use_engine",
 ]

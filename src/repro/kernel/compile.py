@@ -160,6 +160,7 @@ class CompiledSource:
         "constraints_of",
         "degrees",
         "degree_order",
+        "_gaifman_stats",
     )
 
     def __init__(self, structure: Structure) -> None:
@@ -193,6 +194,8 @@ class CompiledSource:
         self.degree_order = tuple(
             sorted(range(len(self.variables)), key=lambda x: (-degrees[x], x))
         )
+        #: Memo for repro.kernel.estimate.gaifman_degree_stats.
+        self._gaifman_stats: tuple[int, float] | None = None
 
     def __repr__(self) -> str:
         return (

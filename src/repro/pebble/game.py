@@ -22,6 +22,14 @@ Key consequences implemented here and cross-checked in the tests:
 * (Theorem 4.8) when the complement of CSP(B) is expressible in k-Datalog,
   the Spoiler wins iff there is no homomorphism — the game *solves* the
   CSP, which is how the uniform algorithm of Theorem 4.9 works.
+
+Two engines compute the fixpoint.  The default is the generalized
+compiled k-pebble engine (:mod:`repro.kernel.pebblek` — bitset tables
+over ≤ k-subassignments, worklist propagation with residuals), which
+produces the *identical* greatest family; the deletion loop below stays
+as the parity oracle, selectable per call with ``engine="legacy"`` or
+process-wide via :func:`repro.kernel.set_default_engine` / the
+``REPRO_ENGINE`` environment variable.
 """
 
 from __future__ import annotations
@@ -30,6 +38,7 @@ from itertools import combinations, product
 from typing import Hashable
 
 from repro.exceptions import VocabularyError
+from repro.kernel.engine import LEGACY, resolve_engine
 from repro.structures.structure import Structure
 
 __all__ = [
@@ -79,17 +88,21 @@ class PebbleGameResult:
 
 
 def solve_pebble_game(
-    source: Structure, target: Structure, k: int
+    source: Structure, target: Structure, k: int, *, engine: str | None = None
 ) -> PebbleGameResult:
     """Compute the greatest forth-closed family (Theorem 4.7.1).
 
     Worst-case O(n^{2k}) states; intended for the small fixed ``k`` regime
-    the paper studies.
+    the paper studies.  Both engines return the same family, map for map.
     """
     if source.vocabulary != target.vocabulary:
         raise VocabularyError("pebble game requires a common vocabulary")
     if k < 1:
         raise ValueError("need at least one pebble")
+    if resolve_engine(engine) != LEGACY:
+        from repro.kernel.pebblek import pebble_game_family
+
+        return PebbleGameResult(k, pebble_game_family(source, target, k))
 
     elements = source.sorted_universe
     values = target.sorted_universe
@@ -141,18 +154,31 @@ def solve_pebble_game(
     return PebbleGameResult(k, family)
 
 
-def duplicator_wins(source: Structure, target: Structure, k: int) -> bool:
+def duplicator_wins(
+    source: Structure, target: Structure, k: int, *, engine: str | None = None
+) -> bool:
     """Whether the Duplicator wins the existential k-pebble game."""
-    return solve_pebble_game(source, target, k).duplicator_wins
+    if resolve_engine(engine) != LEGACY:
+        # Decision only: the kernel engine skips the family decode.
+        if source.vocabulary != target.vocabulary:
+            raise VocabularyError("pebble game requires a common vocabulary")
+        if k < 1:
+            raise ValueError("need at least one pebble")
+        from repro.kernel.pebblek import spoiler_wins_k
+
+        return not spoiler_wins_k(source, target, k)
+    return solve_pebble_game(source, target, k, engine=engine).duplicator_wins
 
 
-def spoiler_wins(source: Structure, target: Structure, k: int) -> bool:
+def spoiler_wins(
+    source: Structure, target: Structure, k: int, *, engine: str | None = None
+) -> bool:
     """Whether the Spoiler wins the existential k-pebble game."""
-    return not duplicator_wins(source, target, k)
+    return not duplicator_wins(source, target, k, engine=engine)
 
 
 def kconsistency_closure(
-    source: Structure, target: Structure, k: int
+    source: Structure, target: Structure, k: int, *, engine: str | None = None
 ) -> set[PartialMap]:
     """The surviving family itself — the strong-k-consistency closure.
 
@@ -161,4 +187,4 @@ def kconsistency_closure(
     empty, which is sound and complete whenever cCSP(B) is expressible in
     k-Datalog (Theorem 4.8).
     """
-    return solve_pebble_game(source, target, k).family
+    return solve_pebble_game(source, target, k, engine=engine).family

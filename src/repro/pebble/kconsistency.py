@@ -10,6 +10,11 @@ each other (and both against the ρ_B Datalog program of Theorem 4.7.2).
 ``strong_k_consistent(A, B, k)`` is the decision form: it returns False
 exactly when the closure is empty, i.e. when the Spoiler wins the
 existential k-pebble game.
+
+The default engine is the generalized compiled k-pebble fixpoint
+(:mod:`repro.kernel.pebblek`), which returns the identical tables; the
+table-filtering loop below remains as the parity oracle behind
+``engine="legacy"`` / ``REPRO_ENGINE=legacy``.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ from itertools import combinations, product
 from typing import Hashable
 
 from repro.exceptions import VocabularyError
+from repro.kernel.engine import LEGACY, resolve_engine
 from repro.structures.structure import Structure
 
 __all__ = ["consistency_tables", "strong_k_consistent"]
@@ -42,17 +48,22 @@ def _allowed(
 
 
 def consistency_tables(
-    source: Structure, target: Structure, k: int
+    source: Structure, target: Structure, k: int, *, engine: str | None = None
 ) -> Table | None:
     """Compute, per sorted domain tuple of size ≤ k, the surviving images.
 
     Returns ``None`` when some table empties — i.e. strong k-consistency
-    cannot be established and no homomorphism exists.
+    cannot be established and no homomorphism exists.  Both engines
+    return the same tables, image for image.
     """
     if source.vocabulary != target.vocabulary:
         raise VocabularyError("consistency requires a common vocabulary")
     if k < 1:
         raise ValueError("k must be at least 1")
+    if resolve_engine(engine) != LEGACY:
+        from repro.kernel.pebblek import kernel_consistency_tables
+
+        return kernel_consistency_tables(source, target, k)
 
     elements = source.sorted_universe
     values = target.sorted_universe
@@ -135,7 +146,7 @@ def consistency_tables(
 
 
 def strong_k_consistent(
-    source: Structure, target: Structure, k: int
+    source: Structure, target: Structure, k: int, *, engine: str | None = None
 ) -> bool:
     """Decision form: can strong k-consistency be established non-trivially?
 
@@ -143,4 +154,13 @@ def strong_k_consistent(
     by Theorem 4.8 it decides CSP(A, B) exactly when cCSP(B) is
     expressible in k-Datalog.
     """
-    return consistency_tables(source, target, k) is not None
+    if resolve_engine(engine) != LEGACY:
+        if source.vocabulary != target.vocabulary:
+            raise VocabularyError("consistency requires a common vocabulary")
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        from repro.kernel.pebblek import spoiler_wins_k
+
+        # Decision only: skip the table decode.
+        return not spoiler_wins_k(source, target, k)
+    return consistency_tables(source, target, k, engine=engine) is not None

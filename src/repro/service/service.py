@@ -19,13 +19,15 @@ databases.  :class:`SolveService` is that serving layer:
   failed or timed-out solve can never poison later answers.
 * **Backends** — every request is first planned on a worker thread: the
   target is compiled through the shared sharded cache and
-  :func:`repro.kernel.estimate.estimate_cost` reads a cost off the
-  compiled sizes.  Cheap requests (the paper's polynomial islands, small
-  searches) are solved right there on the thread — no serialization,
-  shared caches; expensive ones (backtracking-heavy) are shipped to a
-  process-pool worker, escaping the GIL so they cannot stall the rest of
-  the traffic.  Each worker process keeps its own long-lived pipeline
-  and cache (:mod:`repro.service.workers`).
+  :mod:`repro.kernel.estimate` predicts the cost of the *chosen* solving
+  route (search, treewidth DP, or — with planner routing on — the
+  k-pebble game).  Cheap requests (the paper's polynomial islands,
+  bounded-width DP solves, small searches) are solved right there on
+  the thread — no serialization, shared caches; expensive ones
+  (backtracking-heavy) are shipped to a process-pool worker, escaping
+  the GIL so they cannot stall the rest of the traffic.  Each worker
+  process keeps its own long-lived pipeline and cache
+  (:mod:`repro.service.workers`).
 * **Caching** — the thread backend's pipeline uses a
   :class:`~repro.service.cache.ShardedStructureCache`: per-shard locks,
   fingerprint-routed, so concurrent threads only serialize when they ask
@@ -69,7 +71,7 @@ from repro.exceptions import (
     SolveTimeoutError,
     VocabularyError,
 )
-from repro.kernel.estimate import estimate_cost
+from repro.kernel.estimate import estimate_cost, plan_instance
 from repro.service.cache import ShardedStructureCache
 from repro.service.stats import ServiceStats
 from repro.service.workers import process_solve, worker_initializer, worker_pid
@@ -102,7 +104,13 @@ class ServiceConfig:
     ``max_pending`` bounds *open* requests (queued plus executing);
     coalesced duplicates ride along for free and are never rejected.
     ``process_cost_threshold`` is in the unitless scale of
-    :func:`repro.kernel.estimate.estimate_cost`.
+    :mod:`repro.kernel.estimate` — compared against the *chosen* route's
+    predicted cost, so a bounded-width instance the planner sends to the
+    cheap DP stays on the thread backend even when a raw search estimate
+    would have shipped it to a process.  ``plan=True`` additionally lets
+    the pipeline's width-aware planner strategy pick the solving engine
+    per request (and consider the pebble route), with the decision
+    visible in each ``Solution.stats.plan``.
     """
 
     thread_workers: int = 4
@@ -114,6 +122,7 @@ class ServiceConfig:
     cache_maxsize: int = StructureCache.DEFAULT_MAXSIZE
     width_threshold: int = DEFAULT_WIDTH_THRESHOLD
     try_pebble_refutation: int | None = None
+    plan: bool = False
 
 
 @dataclass
@@ -416,6 +425,7 @@ class SolveService:
                 if try_pebble_refutation is _UNSET
                 else try_pebble_refutation
             ),
+            "plan": config.plan,
         }
         # The coalescing key is computed here, on the loop thread, because
         # admission and coalescing are synchronous by contract.  The
@@ -427,6 +437,7 @@ class SolveService:
             instance_fingerprint(source, target),
             options["width_threshold"],
             options["try_pebble_refutation"],
+            options["plan"],
         )
         self.stats.submitted += 1
         existing = self._inflight.get(key)
@@ -516,21 +527,44 @@ class SolveService:
     def _plan_and_maybe_solve(
         self, request: _Request
     ) -> tuple[str, float, Solution | None]:
-        """Runs on a worker thread: estimate, and solve if cheap.
+        """Runs on a worker thread: plan, and solve if cheap.
 
         Compiling the target through the sharded cache both feeds the
-        estimator and warms the cache every thread-backend solve of this
-        target will hit.
+        planner and warms the cache every thread-backend solve of this
+        target will hit.  The thread/process decision compares the
+        *chosen* route's predicted cost against the threshold: a
+        search-heavy instance the planner can decide by DP or pebble no
+        longer pays the process hop.  Pebble routing is only considered
+        when the pipeline will actually follow the plan
+        (``config.plan``); otherwise the prediction sticks to the
+        search/DP routes the fixed registry can take.
         """
+        options = request.options
         ctarget = self.cache.compiled_target(request.target)
+        threshold = self._config.process_cost_threshold
         cost = estimate_cost(request.source, request.target, ctarget=ctarget)
-        if (
-            self._process_pool is not None
-            and cost >= self._config.process_cost_threshold
+        if options["plan"] or (
+            self._process_pool is not None and cost >= threshold
         ):
+            # The width estimate (a greedy decomposition) is only worth
+            # computing when it can change something: the pipeline will
+            # follow the plan, or the raw search estimate would ship the
+            # request to a process and a cheap DP route could keep it
+            # here.  Below-threshold requests with planning off skip it —
+            # they are thread-solved either way, and the fixed registry's
+            # treewidth route decomposes through the pipeline cache.
+            cost = plan_instance(
+                request.source,
+                request.target,
+                ctarget=ctarget,
+                width_threshold=options["width_threshold"],
+                pebble_k=options["try_pebble_refutation"],
+                allow_pebble=options["plan"],
+            ).predicted_cost
+        if self._process_pool is not None and cost >= threshold:
             return "process", cost, None
         solution = self.pipeline.solve(
-            request.source, request.target, **request.options
+            request.source, request.target, **options
         )
         return "thread", cost, solution
 

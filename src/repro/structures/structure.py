@@ -58,6 +58,7 @@ class Structure:
         "_fingerprint",
         "_compiled_source",
         "_compiled_target",
+        "_decomposition",
     )
 
     def __init__(
@@ -97,6 +98,8 @@ class Structure:
         #: Memos for repro.kernel.compile_source / compile_target.
         self._compiled_source: object | None = None
         self._compiled_target: object | None = None
+        #: Memo for repro.treewidth.heuristics.cached_decomposition.
+        self._decomposition: object | None = None
 
     # -- basic accessors -----------------------------------------------------
 
@@ -189,8 +192,11 @@ class Structure:
         ``_compiled_target``) hold the full bitset index of the structure —
         shipping them to a process-pool worker would multiply the payload
         for data the worker can rebuild in linear time; they also must not
-        alias across processes.  The fingerprint is a small stable string,
-        so it *is* kept: the worker's cache lookups reuse it directly.
+        alias across processes.  The greedy tree decomposition memo
+        (``_decomposition``) is dropped for the same reason: workers
+        re-derive it through their own fingerprint-keyed cache.  The
+        fingerprint is a small stable string, so it *is* kept: the
+        worker's cache lookups reuse it directly.
         """
         return {
             "_vocabulary": self._vocabulary,
@@ -207,6 +213,7 @@ class Structure:
         self._hash = None
         self._compiled_source = None
         self._compiled_target = None
+        self._decomposition = None
 
     # -- equality / hashing -----------------------------------------------------
 

@@ -12,6 +12,15 @@ reconstructed top-down.
 This is the executable content of Theorem 5.4; the paper's alternative
 route through ∃FO^{k+1} evaluation (Lemma 5.2) lives in :mod:`repro.fo`
 and the tests check the two always agree.
+
+Two engines implement the DP.  The default is the compiled bitset
+kernel (:mod:`repro.kernel.decomp` — nice-decomposition specialization,
+int-coded bag tables, support-bitset semijoins); the original
+bag-map-enumeration implementation below stays as the parity oracle,
+selectable per call with ``engine="legacy"`` or process-wide via
+:func:`repro.kernel.set_default_engine` / the ``REPRO_ENGINE``
+environment variable.  Both return the same existence verdict on every
+instance and always a valid homomorphism (witness elements may differ).
 """
 
 from __future__ import annotations
@@ -20,6 +29,7 @@ from itertools import product
 from typing import Hashable
 
 from repro.exceptions import VocabularyError
+from repro.kernel.engine import LEGACY, resolve_engine
 from repro.structures.structure import Structure, _sort_key
 from repro.treewidth.decomposition import TreeDecomposition
 from repro.treewidth.heuristics import decompose
@@ -50,6 +60,8 @@ def solve_by_treewidth(
     source: Structure,
     target: Structure,
     decomposition: TreeDecomposition | None = None,
+    *,
+    engine: str | None = None,
 ) -> dict[Element, Element] | None:
     """Find a homomorphism ``source → target`` via bag-table DP.
 
@@ -57,7 +69,13 @@ def solve_by_treewidth(
     the source (validated either way).  Returns a full homomorphism or
     ``None``; worst-case time is exponential only in the decomposition
     width, polynomial for bounded-treewidth sources (Theorem 5.4).
+    ``engine`` selects the compiled kernel DP (default) or the legacy
+    bag-map enumeration below.
     """
+    if resolve_engine(engine) != LEGACY:
+        from repro.kernel.decomp import solve_decomposition
+
+        return solve_decomposition(source, target, decomposition)
     if source.vocabulary != target.vocabulary:
         raise VocabularyError("instance structures must share a vocabulary")
     if decomposition is None:
@@ -139,8 +157,11 @@ def homomorphism_exists_by_treewidth(
     source: Structure,
     target: Structure,
     decomposition: TreeDecomposition | None = None,
+    *,
+    engine: str | None = None,
 ) -> bool:
     """Decision form of :func:`solve_by_treewidth`."""
     return (
-        solve_by_treewidth(source, target, decomposition) is not None
+        solve_by_treewidth(source, target, decomposition, engine=engine)
+        is not None
     )

@@ -24,6 +24,7 @@ __all__ = [
     "elimination_order",
     "decomposition_from_order",
     "decompose",
+    "cached_decomposition",
     "treewidth_upper_bound",
 ]
 
@@ -114,6 +115,25 @@ def decompose(
     decomposition = decomposition_from_order(graph, order)
     decomposition.validate(structure)
     return decomposition
+
+
+def cached_decomposition(structure: Structure) -> TreeDecomposition:
+    """The default (min-fill) decomposition, memoized on the structure.
+
+    The same pattern as the compiled-kernel memos: decompositions are
+    deterministic functions of the (immutable) structure, so the solver
+    pipeline, the width-aware planner, and the treewidth DP can all ask
+    repeatedly and pay the greedy elimination once per structure object.
+    Cross-object reuse (structurally equal rebuilds) is the job of the
+    fingerprint-keyed :class:`repro.core.pipeline.StructureCache`, whose
+    ``decomposition`` entry point funnels through here — and the memo is
+    dropped on pickling so process-pool payloads stay lean.
+    """
+    memoized = structure._decomposition
+    if memoized is None:
+        memoized = decompose(structure)
+        structure._decomposition = memoized
+    return memoized  # type: ignore[return-value]
 
 
 def treewidth_upper_bound(

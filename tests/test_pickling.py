@@ -10,6 +10,7 @@ from repro.kernel.compile import compile_source, compile_target
 from repro.structures.fingerprint import canonical_fingerprint
 from repro.structures.structure import Structure
 from repro.structures.vocabulary import Vocabulary
+from repro.treewidth.heuristics import cached_decomposition
 
 BINARY = Vocabulary.from_arities({"R": 2, "S": 1})
 
@@ -53,6 +54,26 @@ class TestStructurePickling:
         compiled = len(pickle.dumps(structure))
         # The compiled bitset index never rides along.
         assert compiled == plain
+
+    def test_decomposition_memo_is_dropped(self):
+        structure = example_structure()
+        decomposition = cached_decomposition(structure)
+        # Memoized: the same object comes back without re-decomposing.
+        assert cached_decomposition(structure) is decomposition
+        assert structure._decomposition is decomposition
+        clone = pickle.loads(pickle.dumps(structure))
+        assert clone._decomposition is None
+        # The clone re-derives an equivalent decomposition lazily.
+        rebuilt = cached_decomposition(clone)
+        assert rebuilt is not decomposition
+        assert rebuilt.bags == decomposition.bags
+        assert rebuilt.edges == decomposition.edges
+
+    def test_decomposition_memo_never_inflates_payload(self):
+        structure = example_structure()
+        plain = len(pickle.dumps(structure))
+        cached_decomposition(structure)
+        assert len(pickle.dumps(structure)) == plain
 
     def test_recompiles_lazily_after_round_trip(self):
         structure = example_structure()

@@ -52,6 +52,9 @@ from conftest import structure_pairs
 BINARY = Vocabulary.from_arities({"R": 2})
 
 #: The seed dispatcher's routing order, which the pipeline must preserve.
+#: The width-planner is the one post-seed addition: it sits before the
+#: fixed structural routes but declines every solve unless ``plan=True``,
+#: so default routing is unchanged.
 SEED_ORDER = (
     "zero-valid",
     "one-valid",
@@ -59,6 +62,7 @@ SEED_ORDER = (
     "dual-horn-direct",
     "bijunctive-direct",
     "affine-gf2",
+    "width-planner",
     "treewidth-dp",
     "pebble-refutation",
     "backtracking",
