@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Print the experiment report: one table per experiment E1–E15, P1–P4.
+"""Print the experiment report: one table per experiment E1–E15, P1–P5.
 
 This is the "rows/series" harness of EXPERIMENTS.md: each table reports
 wall-clock medians for every algorithm on the shared workloads of
@@ -11,7 +11,10 @@ cache, ``solve_many``); P2 compares the compiled bitset kernel against
 the legacy pure-dict solver on the backtracking-heavy workloads; P4
 does the same for the decomposition kernel — the compiled treewidth DP
 (E10) and the generalized k-pebble engine (E8) — see
-``bench_p04_decomp.py`` for the full version with planner routing.
+``bench_p04_decomp.py`` for the full version with planner routing; P5
+compares the compiled query plane (batch containment matrix, kernel
+cores) against the legacy one-shot paths — see ``bench_p05_query.py``
+for the full version with the containment planner.
 
 Run:  python benchmarks/run_all.py [--repeat 3] [--json out.json]
 
@@ -488,6 +491,41 @@ def p04() -> None:
     )
 
 
+def p05() -> None:
+    """The compiled query plane vs the legacy one-shot paths."""
+    from bench_p05_query import fresh, query_family, redundant_chain
+    from repro.cq.containment import containment_matrix
+    from repro.cq.minimize import minimize
+
+    def legacy_matrix() -> None:
+        queries = query_family(16)
+        [[contains(a, b, engine="legacy") for b in queries] for a in queries]
+
+    def compiled_matrix() -> None:
+        containment_matrix(query_family(16))
+
+    redundant = redundant_chain(5, 4, seed=5)
+    rows = [
+        [
+            "P5 matrix 16 queries (256 pairs)",
+            ms(timed(compiled_matrix)),
+            ms(timed(legacy_matrix)),
+        ],
+        [
+            "P5 minimize chain 5+4 redundant",
+            ms(timed(lambda: minimize(fresh(redundant)))),
+            ms(timed(lambda: minimize(fresh(redundant), engine="legacy"))),
+        ],
+    ]
+    for row in rows:
+        row.append(ratio(row[2].raw / row[1].raw))
+    table(
+        "P5 compiled query plane vs legacy (containment, minimization)",
+        ["workload", "compiled", "legacy", "speedup"],
+        rows,
+    )
+
+
 def main() -> None:
     global REPEAT
     parser = argparse.ArgumentParser(description=__doc__)
@@ -504,7 +542,7 @@ def main() -> None:
     print("(median wall-clock per call; see EXPERIMENTS.md for shapes)")
     for experiment in (
         e01, e03, e04, e05_e06, e07, e08, e09, e10_e11, e12, e13, e14,
-        e15, p01, p02, p04,
+        e15, p01, p02, p04, p05,
     ):
         experiment()
     if args.json is not None:

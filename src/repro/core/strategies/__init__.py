@@ -30,6 +30,7 @@ __all__ = [
     "AffineStrategy",
     "BacktrackingStrategy",
     "BijunctiveStrategy",
+    "CONTAINMENT_ROUTE",
     "DualHornStrategy",
     "HornStrategy",
     "OneValidStrategy",
@@ -40,7 +41,15 @@ __all__ = [
     "base_route",
     "default_strategies",
     "route_names",
+    "service_route_names",
 ]
+
+#: The service-level route label for query–query (containment) traffic.
+#: Containment requests are homomorphism solves underneath — a pipeline
+#: strategy still decides each one — but the serving layer accounts for
+#: them as their own route so query-plane latency is separable from
+#: plain solve traffic.
+CONTAINMENT_ROUTE = "containment"
 
 
 def default_strategies():
@@ -67,6 +76,16 @@ def route_names() -> tuple[str, ...]:
     (or without) traffic on it.
     """
     return tuple(strategy.name for strategy in default_strategies())
+
+
+def service_route_names() -> tuple[str, ...]:
+    """Every latency-bucket route a solve service pre-registers.
+
+    The pipeline's strategy routes plus the service-level
+    :data:`CONTAINMENT_ROUTE`, so a stats snapshot enumerates the
+    query-plane bucket even before (or without) containment traffic.
+    """
+    return route_names() + (CONTAINMENT_ROUTE,)
 
 
 def base_route(strategy_label: str) -> str:

@@ -12,22 +12,31 @@ from repro.cq.canonical import (
     distinguished_marker,
     query_of_structure,
 )
+from repro.cq.compiled import CompiledQuery, compile_query, query_fingerprint
 from repro.cq.containment import (
+    ContainmentPlan,
+    containment_matrix,
     containment_witness,
     contains,
     contains_via_evaluation,
+    equivalence_classes,
     equivalent,
+    plan_containment,
 )
 from repro.cq.evaluation import evaluate, evaluate_join, holds
 from repro.cq.minimize import is_minimal, minimize, minimize_by_atom_removal
 from repro.cq.parser import parse_atom_list, parse_query
-from repro.cq.query import Atom, ConjunctiveQuery
+from repro.cq.query import Atom, ConjunctiveQuery, check_compatible
 from repro.cq.acyclic import (
     gyo_join_tree,
     is_alpha_acyclic,
     yannakakis_holds,
 )
-from repro.cq.saraiya import is_two_atom_instance, two_atom_contains
+from repro.cq.saraiya import (
+    contains_two_atom_structures,
+    is_two_atom_instance,
+    two_atom_contains,
+)
 from repro.cq.width import (
     contains_bounded_width,
     is_acyclic_width,
@@ -37,7 +46,12 @@ from repro.cq.width import (
 
 __all__ = [
     "Atom",
+    "CompiledQuery",
     "ConjunctiveQuery",
+    "ContainmentPlan",
+    "check_compatible",
+    "compile_query",
+    "query_fingerprint",
     "parse_query",
     "parse_atom_list",
     "canonical_database",
@@ -48,14 +62,18 @@ __all__ = [
     "DISTINGUISHED_PREFIX",
     "contains",
     "contains_via_evaluation",
+    "containment_matrix",
     "containment_witness",
+    "equivalence_classes",
     "equivalent",
+    "plan_containment",
     "evaluate",
     "evaluate_join",
     "holds",
     "minimize",
     "minimize_by_atom_removal",
     "is_minimal",
+    "contains_two_atom_structures",
     "is_two_atom_instance",
     "two_atom_contains",
     "query_treewidth",

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Hashable
 
-from repro.cq.canonical import body_structure
+from repro.cq.compiled import compile_query
 from repro.cq.query import ConjunctiveQuery
 from repro.exceptions import VocabularyError
 from repro.structures.homomorphism import all_homomorphisms
@@ -43,24 +43,39 @@ def _aligned(query: ConjunctiveQuery, database: Structure) -> Structure:
     return database
 
 
-def evaluate(query: ConjunctiveQuery, database: Structure) -> set[Row]:
+def evaluate(
+    query: ConjunctiveQuery,
+    database: Structure,
+    *,
+    engine: str | None = None,
+) -> set[Row]:
     """All answers of ``query`` on ``database`` via homomorphisms.
 
     For a Boolean query the result is ``{()}`` (true) or ``set()`` (false).
+    The body structure comes from the compiled query artifact
+    (:mod:`repro.cq.compiled`), so evaluating the same query repeatedly —
+    against one database, or a fleet sharing a vocabulary — reuses one
+    build and its kernel compilation; ``engine`` selects the solver for
+    the homomorphism enumeration.
     """
     database = _aligned(query, database)
-    body = body_structure(query, database.vocabulary)
+    body = compile_query(query).body_for(database.vocabulary)
     answers: set[Row] = set()
-    for hom in all_homomorphisms(body, database):
+    for hom in all_homomorphisms(body, database, engine=engine):
         answers.add(tuple(hom[v] for v in query.head_variables))
     return answers
 
 
-def holds(query: ConjunctiveQuery, database: Structure) -> bool:
+def holds(
+    query: ConjunctiveQuery,
+    database: Structure,
+    *,
+    engine: str | None = None,
+) -> bool:
     """Truth of a Boolean query (or non-emptiness of an n-ary one)."""
     database = _aligned(query, database)
-    body = body_structure(query, database.vocabulary)
-    for _hom in all_homomorphisms(body, database):
+    body = compile_query(query).body_for(database.vocabulary)
+    for _hom in all_homomorphisms(body, database, engine=engine):
         return True
     return False
 

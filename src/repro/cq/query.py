@@ -20,7 +20,7 @@ from typing import Iterable, Iterator
 from repro.exceptions import ParseError, VocabularyError
 from repro.structures.vocabulary import Vocabulary
 
-__all__ = ["Atom", "ConjunctiveQuery"]
+__all__ = ["Atom", "ConjunctiveQuery", "check_compatible"]
 
 Variable = str
 
@@ -63,7 +63,7 @@ class ConjunctiveQuery:
         The head predicate name (cosmetic; containment ignores it).
     """
 
-    __slots__ = ("_name", "_head", "_atoms", "_vocabulary")
+    __slots__ = ("_name", "_head", "_atoms", "_vocabulary", "_compiled")
 
     def __init__(
         self,
@@ -93,6 +93,8 @@ class ConjunctiveQuery:
         # makes equality insensitive to body order and repetition.
         self._atoms = tuple(sorted(set(normalized)))
         self._vocabulary = Vocabulary.from_arities(arities)
+        #: Memo for repro.cq.compiled.compile_query.
+        self._compiled: object | None = None
 
     # -- accessors -------------------------------------------------------------
 
@@ -199,4 +201,18 @@ class ConjunctiveQuery:
                 for a in self._atoms
             ),
             self._name,
+        )
+
+
+def check_compatible(q1: ConjunctiveQuery, q2: ConjunctiveQuery) -> None:
+    """Raise :class:`VocabularyError` unless the two queries are comparable.
+
+    Containment (and equivalence) only makes sense between queries of the
+    same arity — the distinguished tuples must correspond positionally.
+    Shared by the general containment test, Saraiya's two-atom algorithm,
+    and the bounded-width route.
+    """
+    if q1.arity != q2.arity:
+        raise VocabularyError(
+            f"containment needs equal arities; got {q1.arity} and {q2.arity}"
         )

@@ -10,19 +10,26 @@ bijunctive — so the direct bijunctive algorithm of Theorem 3.4 finishes in
 polynomial time.
 
 This module implements exactly that pipeline, plus the recognizer for the
-class.
+class.  The canonical databases come from the compiled query plane
+(:mod:`repro.cq.compiled`), so repeated probes of the same queries reuse
+one build; :func:`contains_two_atom_structures` exposes the structure-level
+step for the containment planner, which hands it pre-built instances.
 """
 
 from __future__ import annotations
 
 from repro.boolean.booleanize import booleanize
 from repro.boolean.direct import solve_bijunctive_csp
-from repro.cq.canonical import canonical_database
-from repro.cq.containment import _check_compatible
-from repro.cq.query import ConjunctiveQuery
+from repro.cq.compiled import compile_query
+from repro.cq.query import ConjunctiveQuery, check_compatible
 from repro.exceptions import NotSchaeferError
+from repro.structures.structure import Structure
 
-__all__ = ["is_two_atom_instance", "two_atom_contains"]
+__all__ = [
+    "contains_two_atom_structures",
+    "is_two_atom_instance",
+    "two_atom_contains",
+]
 
 
 def is_two_atom_instance(q1: ConjunctiveQuery) -> bool:
@@ -32,6 +39,19 @@ def is_two_atom_instance(q1: ConjunctiveQuery) -> bool:
     canonical database is the homomorphism *target*.
     """
     return q1.is_two_atom
+
+
+def contains_two_atom_structures(source: Structure, target: Structure) -> bool:
+    """Decide a containment instance by Booleanization → bijunctive.
+
+    ``source``/``target`` are the canonical databases ``D_{Q2}`` /
+    ``D_{Q1}`` of a containment pair whose ``target`` has at most two
+    tuples per relation (the two-atom guarantee); the Booleanized target
+    relations are then bijunctive (Lemma 3.5) and the Theorem 3.4 direct
+    solver decides the instance in polynomial time.
+    """
+    boolean = booleanize(source, target)
+    return solve_bijunctive_csp(boolean.source, boolean.target) is not None
 
 
 def two_atom_contains(q1: ConjunctiveQuery, q2: ConjunctiveQuery) -> bool:
@@ -47,9 +67,8 @@ def two_atom_contains(q1: ConjunctiveQuery, q2: ConjunctiveQuery) -> bool:
             "Saraiya's algorithm needs every predicate to occur at most "
             "twice in the body of Q1"
         )
-    _check_compatible(q1, q2)
+    check_compatible(q1, q2)
     union = q1.vocabulary.union(q2.vocabulary)
-    target = canonical_database(q1, union)   # at most 2 tuples per relation
-    source = canonical_database(q2, union)
-    boolean = booleanize(source, target)
-    return solve_bijunctive_csp(boolean.source, boolean.target) is not None
+    target = compile_query(q1).canonical_for(union)  # ≤ 2 tuples/relation
+    source = compile_query(q2).canonical_for(union)
+    return contains_two_atom_structures(source, target)

@@ -13,9 +13,8 @@ containment entry point used by experiment E10/E11's query-side story.
 
 from __future__ import annotations
 
-from repro.cq.canonical import canonical_database
-from repro.cq.containment import _check_compatible
-from repro.cq.query import ConjunctiveQuery
+from repro.cq.compiled import compile_query
+from repro.cq.query import ConjunctiveQuery, check_compatible
 from repro.treewidth.dp import solve_by_treewidth
 from repro.treewidth.exact import exact_treewidth
 from repro.treewidth.heuristics import decompose, treewidth_upper_bound
@@ -36,12 +35,12 @@ def query_treewidth(query: ConjunctiveQuery) -> int:
     distinguished markers never increase the width, so the measure equals
     the Gaifman treewidth of the body.
     """
-    return exact_treewidth(canonical_database(query))
+    return exact_treewidth(compile_query(query).canonical)
 
 
 def query_treewidth_upper_bound(query: ConjunctiveQuery) -> int:
     """Greedy (min-fill) upper bound on the query treewidth."""
-    return treewidth_upper_bound(canonical_database(query))
+    return treewidth_upper_bound(compile_query(query).canonical)
 
 
 def is_acyclic_width(query: ConjunctiveQuery) -> bool:
@@ -54,17 +53,22 @@ def is_acyclic_width(query: ConjunctiveQuery) -> bool:
 
 
 def contains_bounded_width(
-    q1: ConjunctiveQuery, q2: ConjunctiveQuery
+    q1: ConjunctiveQuery, q2: ConjunctiveQuery, *, engine: str | None = None
 ) -> bool:
     """Decide ``Q1 ⊆ Q2`` via the treewidth DP on ``D_{Q2}``.
 
     Polynomial whenever ``Q2`` has bounded treewidth (Theorem 5.4 applied
     to the containment instance); always correct (the DP is exact at any
-    width, just exponential in it).
+    width, just exponential in it).  The canonical databases come from the
+    compiled query plane, so repeated probes reuse one build; ``engine``
+    selects the compiled or legacy DP.
     """
-    _check_compatible(q1, q2)
+    check_compatible(q1, q2)
     union = q1.vocabulary.union(q2.vocabulary)
-    source = canonical_database(q2, union)
-    target = canonical_database(q1, union)
+    source = compile_query(q2).canonical_for(union)
+    target = compile_query(q1).canonical_for(union)
     decomposition = decompose(source)
-    return solve_by_treewidth(source, target, decomposition) is not None
+    return (
+        solve_by_treewidth(source, target, decomposition, engine=engine)
+        is not None
+    )

@@ -17,6 +17,11 @@ problem:
   same ``SearchStats``), the :func:`solve` fast path used by the
   pipeline strategies, and the :func:`count_solutions` leaf-tally count
   mode behind ``count_homomorphisms``;
+* :mod:`repro.kernel.corek` — the core/retraction engine: endomorphism
+  search into masked substructures (per-candidate valid-tuple masks and
+  restricted domains instead of materialized substructures), behind the
+  engine flag of :mod:`repro.structures.product` — the hot path of
+  conjunctive-query minimization;
 * :mod:`repro.kernel.decomp` — the Theorem 5.4 dynamic program compiled
   to int-coded bag tables over a nice tree decomposition, with
   support-bitset semijoins and top-down witness reconstruction;
@@ -47,6 +52,7 @@ from repro.kernel.engine import (
     set_default_engine,
     use_engine,
 )
+from repro.kernel.corek import core_structure, is_core_structure, retraction
 from repro.kernel.decomp import decomposition_exists, solve_decomposition
 from repro.kernel.estimate import Plan, estimate_cost, plan_instance
 from repro.kernel.pebblek import (
@@ -66,16 +72,19 @@ __all__ = [
     "Plan",
     "compile_source",
     "compile_target",
+    "core_structure",
     "count_solutions",
     "decomposition_exists",
     "default_engine",
     "estimate_cost",
     "initial_domains",
+    "is_core_structure",
     "kernel_consistency_tables",
     "pebble_game_family",
     "plan_instance",
     "propagate",
     "resolve_engine",
+    "retraction",
     "search_homomorphisms",
     "set_default_engine",
     "solve",

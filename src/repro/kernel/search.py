@@ -88,11 +88,25 @@ def _pinned_domains(
     return domains
 
 
-def _constraint_state(csource: CompiledSource, ctarget: CompiledTarget):
-    """Per-constraint supports and the all-tuples-valid starting masks."""
+def _constraint_state(
+    csource: CompiledSource,
+    ctarget: CompiledTarget,
+    valid: Sequence[int] | None = None,
+):
+    """Per-constraint supports and the valid-tuple starting masks.
+
+    ``valid`` optionally overrides the all-tuples-valid start with one
+    mask per constraint — the core/retraction engine passes masks that
+    exclude every target tuple touching a removed element, which makes
+    the search behave exactly as if it ran against the restricted
+    substructure without ever building it.
+    """
     constraints = csource.constraints
     supports = [ctarget.supports[name] for name, _scope in constraints]
-    valid = [ctarget.all_tuples_masks[name] for name, _scope in constraints]
+    if valid is None:
+        valid = [ctarget.all_tuples_masks[name] for name, _scope in constraints]
+    else:
+        valid = list(valid)
     return constraints, csource.constraints_of, supports, valid
 
 
@@ -181,6 +195,7 @@ def search_homomorphisms(
     order: Sequence[Element] | None = None,
     fixed: Mapping[Element, Element] | None = None,
     domains: list[int] | None = None,
+    valid: Sequence[int] | None = None,
 ) -> Iterator[dict[Element, Element]]:
     """Yield every homomorphism source → target, reference order.
 
@@ -188,7 +203,8 @@ def search_homomorphisms(
     :class:`repro.structures.homomorphism.SearchStats`).  ``order`` fixes
     a static variable order; ``fixed`` pre-pins images; ``domains``
     optionally supplies starting masks (e.g. pre-propagated ones) instead
-    of the node-consistent initial domains.
+    of the node-consistent initial domains; ``valid`` optionally supplies
+    per-constraint starting tuple masks (see :func:`_constraint_state`).
     """
     csource = compile_source(source)
     ctarget = compile_target(target)
@@ -205,7 +221,7 @@ def search_homomorphisms(
         return
 
     constraints, constraints_of, supports, valid = _constraint_state(
-        csource, ctarget
+        csource, ctarget, valid
     )
     assigned = [-1] * n
     assign_order: list[int] = []

@@ -7,7 +7,9 @@ the :mod:`repro.core.pipeline`:
 * :class:`SolveService` (:mod:`repro.service.service`) — asyncio
   ``submit`` / ``submit_many`` with admission control, priorities,
   per-request timeouts, and in-flight request coalescing keyed by
-  canonical fingerprints;
+  canonical fingerprints; ``submit_containment`` admits query–query
+  (Theorem 2.1 containment) traffic through the compiled query plane
+  with the same coalescing plus its own stats route;
 * backend selection by compiled-size cost estimate
   (:mod:`repro.kernel.estimate`): worker threads for cheap requests,
   a process pool (:mod:`repro.service.workers`) for

@@ -57,7 +57,10 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from enum import IntEnum
-from typing import Awaitable, Iterable
+from typing import TYPE_CHECKING, Awaitable, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover — annotation-only import
+    from repro.cq.query import ConjunctiveQuery
 
 from repro.core.pipeline import (
     DEFAULT_WIDTH_THRESHOLD,
@@ -65,6 +68,7 @@ from repro.core.pipeline import (
     SolverPipeline,
     StructureCache,
 )
+from repro.core.strategies import CONTAINMENT_ROUTE
 from repro.exceptions import (
     ServiceClosedError,
     ServiceOverloadedError,
@@ -136,6 +140,9 @@ class _Request:
     options: dict
     priority: int
     future: asyncio.Future
+    #: Latency-bucket override ("containment" for query–query traffic);
+    #: ``None`` buckets by the solving strategy's route.
+    route: str | None = None
     enqueued_at: float = field(default_factory=time.perf_counter)
     #: Set when the dispatcher hands the request to a backend (or stop()
     #: fails it).  A priority bump re-pushes the request onto the heap,
@@ -345,6 +352,55 @@ class SolveService:
             self.stats.rejected += 1
             raise
 
+    def submit_containment(
+        self,
+        q1: "ConjunctiveQuery",
+        q2: "ConjunctiveQuery",
+        *,
+        priority: Priority | int = Priority.NORMAL,
+        timeout: float | None = _UNSET,  # type: ignore[assignment]
+    ) -> Awaitable[Solution]:
+        """Admit a containment request ``Q1 ⊆ Q2`` (Theorem 2.1 route).
+
+        The query plane's service entry point: the pair is translated to
+        its homomorphism instance ``D_{Q2} → D_{Q1}`` through the
+        compiled-query artifacts (:mod:`repro.cq.compiled` — canonical
+        databases built once per query and memoized), then admitted like
+        any solve.  Query–query traffic therefore gets everything solves
+        get: coalescing (two connections asking the same containment
+        share one computation), priorities, timeouts, and backpressure
+        accounting — plus its own ``"containment"`` latency bucket and
+        the ``containment_requests`` counter in :class:`ServiceStats`.
+
+        Awaiting the result yields the underlying :class:`Solution`;
+        ``solution.exists`` is the containment verdict and
+        ``solution.homomorphism`` the containment witness (or ``None``).
+        Raises :class:`VocabularyError` for arity-incompatible queries
+        and :class:`ServiceOverloadedError` on admission refusal.
+        """
+        from repro.cq.compiled import compile_query
+        from repro.cq.query import check_compatible
+
+        check_compatible(q1, q2)
+        union = q1.vocabulary.union(q2.vocabulary)
+        target = compile_query(q1).canonical_for(union)
+        source = compile_query(q2).canonical_for(union)
+        try:
+            waiter = self._submit(
+                source,
+                target,
+                priority=priority,
+                timeout=timeout,
+                width_threshold=None,
+                try_pebble_refutation=_UNSET,
+                route=CONTAINMENT_ROUTE,
+            )
+        except ServiceOverloadedError:
+            self.stats.rejected += 1
+            raise
+        self.stats.containment_requests += 1
+        return waiter
+
     async def submit_many(
         self,
         pairs: Iterable[tuple[Structure, Structure]],
@@ -402,6 +458,7 @@ class SolveService:
         timeout,
         width_threshold: int | None,
         try_pebble_refutation,
+        route: str | None = None,
     ) -> Awaitable[Solution]:
         if not self._running or self._loop is None:
             raise ServiceClosedError(
@@ -432,12 +489,17 @@ class SolveService:
         # per-structure digests are memoized, so the cost is paid once per
         # Structure object; callers submitting very large *fresh*
         # structures per request can pre-warm off-loop by calling
-        # canonical_fingerprint(structure) in an executor first.
+        # canonical_fingerprint(structure) in an executor first.  The
+        # route is part of the key so a containment request never
+        # coalesces onto a plain solve of the same instance (or vice
+        # versa) — the shared computation would land its latency in the
+        # wrong stats bucket.
         key = (
             instance_fingerprint(source, target),
             options["width_threshold"],
             options["try_pebble_refutation"],
             options["plan"],
+            route,
         )
         self.stats.submitted += 1
         existing = self._inflight.get(key)
@@ -469,6 +531,7 @@ class SolveService:
             options=options,
             priority=int(priority),
             future=self._loop.create_future(),
+            route=route,
         )
         request.future.add_done_callback(_consume_exception)
         self._inflight[key] = request
@@ -584,7 +647,9 @@ class SolveService:
                     request.options,
                 )
             latency_ms = (time.perf_counter() - request.enqueued_at) * 1000
-            self.stats.note_completed(solution, latency_ms, backend)
+            self.stats.note_completed(
+                solution, latency_ms, backend, route=request.route
+            )
             if not request.future.done():
                 request.future.set_result(solution)
         except Exception as exc:  # noqa: BLE001 — forwarded to the waiters

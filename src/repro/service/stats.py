@@ -20,7 +20,7 @@ import math
 from dataclasses import dataclass, field
 
 from repro.core.pipeline import Solution
-from repro.core.strategies import base_route, route_names
+from repro.core.strategies import base_route, service_route_names
 
 __all__ = ["LatencyHistogram", "ServiceStats"]
 
@@ -103,6 +103,10 @@ class ServiceStats:
     rejected: int = 0
     timeouts: int = 0
     coalesce_hits: int = 0
+    #: Query–query requests admitted via ``submit_containment`` (a subset
+    #: of ``submitted``; their latencies land in the "containment" route
+    #: bucket instead of the solving strategy's).
+    containment_requests: int = 0
     queue_depth: int = 0
     max_queue_depth: int = 0
     thread_solves: int = 0
@@ -113,7 +117,7 @@ class ServiceStats:
     #: with every built-in route so snapshots enumerate them all.
     route_latency: dict[str, LatencyHistogram] = field(
         default_factory=lambda: {
-            name: LatencyHistogram() for name in route_names()
+            name: LatencyHistogram() for name in service_route_names()
         }
     )
     #: End-to-end latency across all routes.
@@ -125,9 +129,18 @@ class ServiceStats:
             self.max_queue_depth = depth
 
     def note_completed(
-        self, solution: Solution, latency_ms: float, backend: str
+        self,
+        solution: Solution,
+        latency_ms: float,
+        backend: str,
+        route: str | None = None,
     ) -> None:
-        """Fold one finished solve into the service-wide picture."""
+        """Fold one finished solve into the service-wide picture.
+
+        ``route`` overrides the latency bucket (the service passes
+        ``"containment"`` for query–query traffic); by default the
+        bucket is the solving strategy's base route.
+        """
         self.completed += 1
         if backend == "process":
             self.process_solves += 1
@@ -136,7 +149,8 @@ class ServiceStats:
         if solution.stats is not None:
             self.solve_cache_hits += solution.stats.cache_hits
             self.solve_cache_misses += solution.stats.cache_misses
-        route = base_route(solution.strategy)
+        if route is None:
+            route = base_route(solution.strategy)
         histogram = self.route_latency.get(route)
         if histogram is None:
             histogram = self.route_latency[route] = LatencyHistogram()
@@ -152,6 +166,7 @@ class ServiceStats:
             "rejected": self.rejected,
             "timeouts": self.timeouts,
             "coalesce_hits": self.coalesce_hits,
+            "containment_requests": self.containment_requests,
             "queue_depth": self.queue_depth,
             "max_queue_depth": self.max_queue_depth,
             "thread_solves": self.thread_solves,

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 import sys
 from pathlib import Path
 
@@ -10,6 +11,7 @@ _SRC = Path(__file__).resolve().parent.parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
+from hypothesis import HealthCheck, settings
 from hypothesis import strategies as st
 
 from repro.boolean.relations import (
@@ -19,8 +21,30 @@ from repro.boolean.relations import (
     tuple_or,
     tuple_xor3,
 )
+from repro.cq.query import Atom, ConjunctiveQuery
 from repro.structures.structure import Structure
 from repro.structures.vocabulary import RelationSymbol, Vocabulary
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis profiles
+# ---------------------------------------------------------------------------
+#
+# The "ci" profile makes property runs deterministic and bounded:
+# derandomized example streams (a fixed seed — reruns of a commit see the
+# same cases), a hard per-example deadline, and a capped example count so
+# the tier-1 wall-clock stays predictable.  Select it by exporting
+# HYPOTHESIS_PROFILE=ci (the GitHub workflow does); the default profile
+# keeps hypothesis' randomized exploration for local runs.
+
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    deadline=1000,
+    max_examples=30,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 # ---------------------------------------------------------------------------
@@ -80,6 +104,75 @@ def structure_pairs(
     a = draw(structures(vocabulary, max_elements, max_facts))
     b = draw(structures(vocabulary, max_elements, max_facts))
     return a, b
+
+
+# ---------------------------------------------------------------------------
+# Conjunctive queries
+# ---------------------------------------------------------------------------
+
+@st.composite
+def conjunctive_queries(
+    draw,
+    vocabulary: Vocabulary | None = None,
+    max_variables: int = 4,
+    max_atoms: int = 4,
+    head_width: int | None = None,
+    max_head: int = 2,
+) -> ConjunctiveQuery:
+    """Random small conjunctive queries over the vocabularies() stream.
+
+    Bodies draw atoms over a shared variable pool (so subgoals overlap and
+    containment/minimization have something to do); heads draw from the
+    same pool, repetitions allowed.  ``head_width`` pins the arity (use it
+    to generate containment-compatible pairs); otherwise the head has up
+    to ``max_head`` variables, including the Boolean ``()`` case.  Sizes
+    stay small because the properties run exponential oracles (cores,
+    atom-removal minimization) on every example.
+    """
+    if vocabulary is None:
+        vocabulary = draw(vocabularies(max_symbols=2, max_arity=2))
+    num_variables = draw(st.integers(min_value=1, max_value=max_variables))
+    variables = [f"X{i}" for i in range(num_variables)]
+    symbols = list(vocabulary)
+    num_atoms = draw(st.integers(min_value=1, max_value=max_atoms))
+    atoms = []
+    for _ in range(num_atoms):
+        symbol = draw(st.sampled_from(symbols))
+        atoms.append(
+            Atom(
+                symbol.name,
+                tuple(
+                    draw(st.sampled_from(variables))
+                    for _ in range(symbol.arity)
+                ),
+            )
+        )
+    if head_width is None:
+        head_width = draw(st.integers(min_value=0, max_value=max_head))
+    head = tuple(
+        draw(st.sampled_from(variables)) for _ in range(head_width)
+    )
+    return ConjunctiveQuery(head, atoms)
+
+
+@st.composite
+def query_pairs(
+    draw, max_variables: int = 4, max_atoms: int = 3
+) -> tuple[ConjunctiveQuery, ConjunctiveQuery]:
+    """Two containment-compatible queries (shared vocabulary and arity)."""
+    vocabulary = draw(vocabularies(max_symbols=2, max_arity=2))
+    head_width = draw(st.integers(min_value=0, max_value=1))
+    q1 = draw(
+        conjunctive_queries(
+            vocabulary, max_variables, max_atoms, head_width=head_width
+        )
+    )
+    q2 = draw(
+        conjunctive_queries(
+            vocabulary, max_variables, max_atoms, head_width=head_width
+        )
+    )
+    return q1, q2
 
 
 # ---------------------------------------------------------------------------

@@ -144,3 +144,36 @@ class TestPreorderProperties:
             q.name,
         )
         assert contains(extended, q)
+
+
+class TestCheckCompatible:
+    """The public arity guard shared by every containment route."""
+
+    def test_check_compatible_raises_on_arity_mismatch(self):
+        from repro.cq.query import check_compatible
+
+        q1 = parse_query("Q(X) :- E(X, Y).")
+        q2 = parse_query("Q(X, Y) :- E(X, Y).")
+        with pytest.raises(VocabularyError, match="equal arities"):
+            check_compatible(q1, q2)
+        check_compatible(q1, q1)  # same arity: no error
+
+    def test_every_route_rejects_arity_mismatch(self):
+        from repro.cq.containment import containment_matrix, plan_containment
+        from repro.cq.saraiya import two_atom_contains
+        from repro.cq.width import contains_bounded_width
+
+        q1 = parse_query("Q(X) :- E(X, Y).")
+        q2 = parse_query("Q(X, Y) :- E(X, Y).")
+        for probe in (
+            lambda: contains(q1, q2),
+            lambda: contains_via_evaluation(q1, q2),
+            lambda: containment_witness(q1, q2),
+            lambda: equivalent(q1, q2),
+            lambda: two_atom_contains(q1, q2),
+            lambda: contains_bounded_width(q1, q2),
+            lambda: plan_containment(q1, q2),
+            lambda: containment_matrix([q1, q2]),
+        ):
+            with pytest.raises(VocabularyError, match="equal arities"):
+                probe()

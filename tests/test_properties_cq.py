@@ -1,0 +1,201 @@
+"""Property-based metamorphic suite for the query plane (Theorem 2.1).
+
+Every property is a law the Chandra–Merlin identification forces on the
+implementation — uniqueness of minimal queries, the preorder structure of
+containment, the core's fixpoint behaviour, the category-theoretic
+product/coproduct characterizations — checked on random queries and
+structures from the conftest strategies.  The suite runs deterministically
+under the ``ci`` hypothesis profile (``HYPOTHESIS_PROFILE=ci``:
+derandomized, bounded examples, explicit deadline).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cq.containment import (
+    containment_matrix,
+    contains,
+    contains_via_evaluation,
+    equivalence_classes,
+    equivalent,
+)
+from repro.cq.minimize import is_minimal, minimize, minimize_by_atom_removal
+from repro.cq.saraiya import two_atom_contains
+from repro.cq.width import contains_bounded_width
+from repro.structures.homomorphism import homomorphism_exists
+from repro.structures.product import (
+    core,
+    direct_product,
+    disjoint_union,
+    is_core,
+)
+
+from conftest import (
+    conjunctive_queries,
+    query_pairs,
+    structures,
+    vocabularies,
+)
+
+
+@st.composite
+def query_triples(draw):
+    """Three containment-compatible queries over one vocabulary."""
+    vocabulary = draw(vocabularies(max_symbols=2, max_arity=2))
+    width = draw(st.integers(min_value=0, max_value=1))
+    return tuple(
+        draw(
+            conjunctive_queries(
+                vocabulary, max_variables=3, max_atoms=3, head_width=width
+            )
+        )
+        for _ in range(3)
+    )
+
+
+@st.composite
+def query_batches(draw):
+    """A small batch of compatible queries for the matrix layer."""
+    vocabulary = draw(vocabularies(max_symbols=2, max_arity=2))
+    width = draw(st.integers(min_value=0, max_value=1))
+    size = draw(st.integers(min_value=2, max_value=5))
+    return [
+        draw(
+            conjunctive_queries(
+                vocabulary, max_variables=3, max_atoms=3, head_width=width
+            )
+        )
+        for _ in range(size)
+    ]
+
+
+@st.composite
+def structure_triples(draw):
+    """Three structures over one vocabulary (for the algebraic laws)."""
+    vocabulary = draw(vocabularies())
+    return tuple(
+        draw(structures(vocabulary, max_elements=3, max_facts=4))
+        for _ in range(3)
+    )
+
+
+class TestMinimization:
+    @given(conjunctive_queries())
+    @settings(max_examples=40, deadline=None)
+    def test_both_minimizers_agree_on_atom_count(self, query):
+        """Uniqueness of minimal queries: core-based and greedy removal
+        land on the same number of atoms."""
+        by_core = minimize(query)
+        by_removal = minimize_by_atom_removal(query)
+        assert len(by_core.atoms) == len(by_removal.atoms)
+
+    @given(conjunctive_queries())
+    @settings(max_examples=40, deadline=None)
+    def test_minimize_preserves_equivalence(self, query):
+        assert equivalent(minimize(query), query)
+
+    @given(conjunctive_queries())
+    @settings(max_examples=40, deadline=None)
+    def test_minimize_is_idempotent_and_minimal(self, query):
+        minimal = minimize(query)
+        assert minimize(minimal) == minimal
+        assert is_minimal(minimal)
+
+
+class TestContainmentLaws:
+    @given(conjunctive_queries())
+    @settings(max_examples=40, deadline=None)
+    def test_containment_is_reflexive(self, query):
+        assert contains(query, query)
+        assert contains_via_evaluation(query, query)
+
+    @given(query_pairs())
+    @settings(max_examples=50, deadline=None)
+    def test_evaluation_route_agrees(self, pair):
+        """Theorem 2.1: the homomorphism route and the evaluation route
+        decide every containment identically."""
+        q1, q2 = pair
+        assert contains(q1, q2) == contains_via_evaluation(q1, q2)
+
+    @given(query_triples())
+    @settings(max_examples=50, deadline=None)
+    def test_containment_is_transitive(self, triple):
+        a, b, c = triple
+        if contains(a, b) and contains(b, c):
+            assert contains(a, c)
+
+    @given(query_pairs())
+    @settings(max_examples=50, deadline=None)
+    def test_planner_routes_are_exact(self, pair):
+        """Every route the containment planner can pick is exact."""
+        q1, q2 = pair
+        expected = contains(q1, q2)
+        assert contains(q1, q2, plan=True) == expected
+        assert contains_bounded_width(q1, q2) == expected
+        if q1.is_two_atom:
+            assert two_atom_contains(q1, q2) == expected
+
+
+class TestCores:
+    @given(structures())
+    @settings(max_examples=40, deadline=None)
+    def test_core_is_a_fixpoint(self, a):
+        """core(core(A)) = core(A) exactly, and the result is a core."""
+        once = core(a)
+        assert core(once) == once
+        assert is_core(once)
+
+    @given(structures())
+    @settings(max_examples=40, deadline=None)
+    def test_core_is_homomorphically_equivalent(self, a):
+        """A → core(A) (by construction) and core(A) → A (inclusion)."""
+        shrunk = core(a)
+        assert homomorphism_exists(a, shrunk)
+        assert homomorphism_exists(shrunk, a)
+
+
+class TestAlgebraicOracles:
+    @given(structure_triples())
+    @settings(max_examples=40, deadline=None)
+    def test_product_law(self, triple):
+        """C → A×B iff C → A and C → B (the product property)."""
+        a, b, c = triple
+        assert homomorphism_exists(c, direct_product(a, b)) == (
+            homomorphism_exists(c, a) and homomorphism_exists(c, b)
+        )
+
+    @given(structure_triples())
+    @settings(max_examples=40, deadline=None)
+    def test_coproduct_law(self, triple):
+        """A ⊎ B → C iff A → C and B → C (the coproduct property)."""
+        a, b, c = triple
+        assert homomorphism_exists(disjoint_union(a, b), c) == (
+            homomorphism_exists(a, c) and homomorphism_exists(b, c)
+        )
+
+
+class TestBatchLayer:
+    @given(query_batches())
+    @settings(max_examples=30, deadline=None)
+    def test_matrix_matches_pairwise_contains(self, queries):
+        matrix = containment_matrix(queries)
+        for i, qi in enumerate(queries):
+            for j, qj in enumerate(queries):
+                assert matrix[i][j] == contains(qi, qj), (i, j)
+
+    @given(query_batches())
+    @settings(max_examples=30, deadline=None)
+    def test_equivalence_classes_partition_by_equivalence(self, queries):
+        classes = equivalence_classes(queries)
+        seen = sorted(index for members in classes for index in members)
+        assert seen == list(range(len(queries)))
+        for members in classes:
+            leader = queries[members[0]]
+            for index in members[1:]:
+                assert equivalent(leader, queries[index])
+        leaders = [queries[members[0]] for members in classes]
+        for i in range(len(leaders)):
+            for j in range(i + 1, len(leaders)):
+                assert not equivalent(leaders[i], leaders[j])
