@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Print the experiment report: one table per experiment E1–E15, P1–P5.
+"""Print the experiment report: one table per experiment E1–E15, P1–P6.
 
 This is the "rows/series" harness of EXPERIMENTS.md: each table reports
 wall-clock medians for every algorithm on the shared workloads of
@@ -14,7 +14,10 @@ does the same for the decomposition kernel — the compiled treewidth DP
 ``bench_p04_decomp.py`` for the full version with planner routing; P5
 compares the compiled query plane (batch containment matrix, kernel
 cores) against the legacy one-shot paths — see ``bench_p05_query.py``
-for the full version with the containment planner.
+for the full version with the containment planner; P6 compares the
+bitset Datalog engine against the legacy evaluator and the Theorem 4.2
+decision routes, with parity asserted inline — see
+``bench_p06_datalog.py`` for the full version with the service route.
 
 Run:  python benchmarks/run_all.py [--repeat 3] [--json out.json]
 
@@ -253,16 +256,21 @@ def e09() -> None:
     rows = []
     for n in (3, 4, 5, 6):
         source, target = W.two_coloring_instance(n, seed=n)
+        kernel_says = goal_holds(rho, source, engine="kernel")
+        legacy_says = goal_holds(rho, source, engine="legacy")
+        game_says = spoiler_wins(source, target, 2)
+        assert kernel_says == legacy_says == game_says, f"E9 parity n={n}"
         rows.append(
             [
                 n,
-                ms(timed(goal_holds, rho, source)),
+                ms(timed(goal_holds, rho, source, engine="kernel")),
+                ms(timed(goal_holds, rho, source, engine="legacy")),
                 ms(timed(spoiler_wins, source, target, 2)),
             ]
         )
     table(
         "E9 Canonical program rho_B (Thm 4.7.2)",
-        ["n", "datalog", "direct game"],
+        ["n", "datalog kernel", "datalog legacy", "direct game"],
         rows,
     )
 
@@ -526,6 +534,45 @@ def p05() -> None:
     )
 
 
+def p06() -> None:
+    """The compiled Datalog plane vs the legacy engine, parity inline."""
+    from repro.datalog.canonical_program import canonical_refutes
+    from repro.datalog.evaluation import evaluate_program
+    from repro.datalog.program import parse_program
+
+    rho = canonical_program(clique(2), 2)
+    tc = parse_program(
+        "T(X, Y) :- E(X, Y)\nT(X, Y) :- T(X, Z), E(Z, Y)", goal="T"
+    )
+    rows = []
+    for label, program, structure in (
+        ("rho_K2 fixpoint n=8", rho, W.two_coloring_instance(8, seed=8)[0]),
+        ("rho_K2 fixpoint n=10", rho, W.two_coloring_instance(10, seed=10)[0]),
+        ("TC n=16", tc, random_digraph(16, 0.3, seed=16)),
+    ):
+        kernel_db = evaluate_program(program, structure, engine="kernel")
+        legacy_db = evaluate_program(program, structure, engine="legacy")
+        assert kernel_db == legacy_db, f"P6 parity: {label}"
+        kernel = timed(evaluate_program, program, structure, engine="kernel")
+        legacy = timed(evaluate_program, program, structure, engine="legacy")
+        rows.append([label, ms(kernel), ms(legacy), ratio(legacy / kernel)])
+    source = random_digraph(8, 0.3, seed=8)
+    assert canonical_refutes(source, clique(2), 2) == canonical_refutes(
+        source, clique(2), 2, engine="legacy"
+    ) == spoiler_wins(source, clique(2), 2), "P6 parity: Thm 4.2 decision"
+    kernel = timed(canonical_refutes, source, clique(2), 2)
+    legacy = timed(canonical_refutes, source, clique(2), 2, engine="legacy")
+    rows.append(
+        ["Thm 4.2 decision n=8 k=2", ms(kernel), ms(legacy),
+         ratio(legacy / kernel)]
+    )
+    table(
+        "P6 compiled Datalog plane vs legacy (evaluation, Thm 4.2)",
+        ["workload", "kernel", "legacy", "speedup"],
+        rows,
+    )
+
+
 def main() -> None:
     global REPEAT
     parser = argparse.ArgumentParser(description=__doc__)
@@ -542,7 +589,7 @@ def main() -> None:
     print("(median wall-clock per call; see EXPERIMENTS.md for shapes)")
     for experiment in (
         e01, e03, e04, e05_e06, e07, e08, e09, e10_e11, e12, e13, e14,
-        e15, p01, p02, p04, p05,
+        e15, p01, p02, p04, p05, p06,
     ):
         experiment()
     if args.json is not None:

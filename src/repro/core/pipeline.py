@@ -299,6 +299,9 @@ class SolveContext:
     pebble_k: int | None = None
     #: Whether the width-aware planner strategy may claim this solve.
     plan_enabled: bool = False
+    #: When set to ``k``, ask the planner to try the canonical k-Datalog
+    #: decision (Theorem 4.2) first — only honoured with planning on.
+    datalog_k: int | None = None
     scratch: dict[str, object] = field(default_factory=dict)
     #: This solve's own cache traffic (the shared cache's global counters
     #: also see every *other* concurrent solve).
@@ -454,6 +457,7 @@ class SolverPipeline:
         width_threshold: int = DEFAULT_WIDTH_THRESHOLD,
         try_pebble_refutation: int | None = None,
         plan: bool = False,
+        try_canonical_datalog: int | None = None,
     ) -> Solution:
         """Decide ``source → target`` with the first applicable route.
 
@@ -471,6 +475,12 @@ class SolverPipeline:
             fall past the Schaefer islands: it chooses search vs. DP vs.
             pebble from predicted costs, and the decision lands in
             ``Solution.stats.plan``.
+        try_canonical_datalog:
+            If set to ``k`` (with ``plan=True``), ask the planner to try
+            the canonical k-Datalog decision of Theorem 4.2 first: "does
+            ρ_B derive its goal on A?", answered by the compiled pebble
+            game.  A derivation refutes the instance outright; otherwise
+            the planner falls back to search, so the answer stays exact.
 
         Returns
         -------
@@ -487,6 +497,7 @@ class SolverPipeline:
             width_threshold=width_threshold,
             pebble_k=try_pebble_refutation,
             plan_enabled=plan,
+            datalog_k=try_canonical_datalog,
         )
         attempted: list[str] = []
         timings: dict[str, float] = {}
@@ -530,6 +541,7 @@ class SolverPipeline:
         width_threshold: int = DEFAULT_WIDTH_THRESHOLD,
         try_pebble_refutation: int | None = None,
         plan: bool = False,
+        try_canonical_datalog: int | None = None,
     ) -> list[Solution]:
         """Decide a batch of instances, amortizing per-target analysis.
 
@@ -555,6 +567,7 @@ class SolverPipeline:
                     width_threshold=width_threshold,
                     try_pebble_refutation=try_pebble_refutation,
                     plan=plan,
+                    try_canonical_datalog=try_canonical_datalog,
                 )
         return solutions  # type: ignore[return-value]
 
@@ -581,6 +594,7 @@ def solve(
     width_threshold: int = DEFAULT_WIDTH_THRESHOLD,
     try_pebble_refutation: int | None = None,
     plan: bool = False,
+    try_canonical_datalog: int | None = None,
 ) -> Solution:
     """Decide ``source → target`` on the default pipeline.
 
@@ -595,6 +609,7 @@ def solve(
         width_threshold=width_threshold,
         try_pebble_refutation=try_pebble_refutation,
         plan=plan,
+        try_canonical_datalog=try_canonical_datalog,
     )
 
 
@@ -604,6 +619,7 @@ def solve_many(
     width_threshold: int = DEFAULT_WIDTH_THRESHOLD,
     try_pebble_refutation: int | None = None,
     plan: bool = False,
+    try_canonical_datalog: int | None = None,
 ) -> list[Solution]:
     """Batch-decide instances on the default pipeline (shared cache)."""
     return default_pipeline().solve_many(
@@ -611,4 +627,5 @@ def solve_many(
         width_threshold=width_threshold,
         try_pebble_refutation=try_pebble_refutation,
         plan=plan,
+        try_canonical_datalog=try_canonical_datalog,
     )

@@ -31,6 +31,7 @@ __all__ = [
     "BacktrackingStrategy",
     "BijunctiveStrategy",
     "CONTAINMENT_ROUTE",
+    "DATALOG_ROUTE",
     "DualHornStrategy",
     "HornStrategy",
     "OneValidStrategy",
@@ -50,6 +51,12 @@ __all__ = [
 #: them as their own route so query-plane latency is separable from
 #: plain solve traffic.
 CONTAINMENT_ROUTE = "containment"
+
+#: The service-level route label for canonical-Datalog (Theorem 4.2)
+#: traffic admitted via ``SolveService.submit_datalog``.  Underneath it
+#: is a planner-routed solve, but the serving layer accounts for it as
+#: its own bucket so Datalog-plane latency is separable.
+DATALOG_ROUTE = "datalog"
 
 
 def default_strategies():
@@ -82,10 +89,11 @@ def service_route_names() -> tuple[str, ...]:
     """Every latency-bucket route a solve service pre-registers.
 
     The pipeline's strategy routes plus the service-level
-    :data:`CONTAINMENT_ROUTE`, so a stats snapshot enumerates the
-    query-plane bucket even before (or without) containment traffic.
+    :data:`CONTAINMENT_ROUTE` and :data:`DATALOG_ROUTE`, so a stats
+    snapshot enumerates the query- and Datalog-plane buckets even before
+    (or without) traffic on them.
     """
-    return route_names() + (CONTAINMENT_ROUTE,)
+    return route_names() + (CONTAINMENT_ROUTE, DATALOG_ROUTE)
 
 
 def base_route(strategy_label: str) -> str:

@@ -24,14 +24,17 @@ fixed B and k, which is the point of nonuniform expressibility.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from itertools import product
 from typing import Hashable
 
 from repro.cq.query import Atom
 from repro.datalog.program import DatalogProgram, Rule
+from repro.kernel.compile import CompiledTarget, compile_target
+from repro.kernel.engine import KERNEL, resolve_engine
 from repro.structures.structure import Structure
 
-__all__ = ["canonical_program", "GOAL_NAME"]
+__all__ = ["canonical_program", "canonical_refutes", "GOAL_NAME"]
 
 Element = Hashable
 
@@ -50,11 +53,21 @@ def canonical_program(target: Structure, k: int) -> DatalogProgram:
     ``S`` iff the Spoiler wins the existential k-pebble game on (A, B);
     the test suite cross-checks this against
     :func:`repro.pebble.game.spoiler_wins`.
+
+    The construction is memoized (structures hash and compare by value),
+    so the template workload — one ρ_B against many sources — builds the
+    |B|^k-rule program once; the compiled evaluator's per-program caches
+    then also persist across calls.
     """
     if k < 1:
         raise ValueError("k must be at least 1")
     if not target.universe:
         raise ValueError("canonical program needs a non-empty target")
+    return _cached_canonical_program(target, k)
+
+
+@lru_cache(maxsize=128)
+def _cached_canonical_program(target: Structure, k: int) -> DatalogProgram:
     elements = target.sorted_universe
     variables = tuple(f"x{i}" for i in range(k))
     rules: list[Rule] = []
@@ -104,3 +117,41 @@ def canonical_program(target: Structure, k: int) -> DatalogProgram:
     )
     rules.append(Rule(Atom(GOAL_NAME, ()), goal_body))
     return DatalogProgram(rules, GOAL_NAME)
+
+
+def canonical_refutes(
+    source: Structure,
+    target: Structure | CompiledTarget,
+    k: int,
+    *,
+    engine: str | None = None,
+) -> bool:
+    """Does the canonical program ρ_B derive its goal on ``source``?
+
+    ``True`` means ρ_B certifies ``source ↛ target`` (Theorem 4.8's easy
+    direction); ``False`` means the Duplicator survives and the answer
+    needs a complete engine.
+
+    This is the Theorem 4.2 identity made executable in both directions:
+    ρ_B derives ``S`` on A **iff** the Spoiler wins the existential
+    k-pebble game on (A, B).  The kernel engine therefore never
+    materializes the |B|^k-rule program at all — it plays the compiled
+    game (:func:`repro.kernel.pebblek.spoiler_wins_k`) on the original
+    target, which is the whole point of routing the decision through the
+    theorem.  The legacy engine builds ρ_B and evaluates it bottom-up,
+    serving as the parity oracle for the identity itself.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    ctarget = compile_target(target)
+    if not ctarget.values:
+        raise ValueError("canonical program needs a non-empty target")
+    if resolve_engine(engine) == KERNEL:
+        from repro.kernel.pebblek import spoiler_wins_k
+
+        return spoiler_wins_k(source, ctarget, k)
+    from repro.datalog.evaluation import goal_holds
+
+    return goal_holds(
+        canonical_program(ctarget.structure, k), source, engine="legacy"
+    )

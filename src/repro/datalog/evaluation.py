@@ -19,9 +19,15 @@ from typing import Hashable, Iterable, Mapping
 from repro.cq.query import Atom
 from repro.datalog.program import DatalogProgram, Rule
 from repro.exceptions import DatalogError
+from repro.kernel.engine import KERNEL, resolve_engine
 from repro.structures.structure import Structure, _sort_key
 
-__all__ = ["evaluate_program", "goal_holds", "Database"]
+__all__ = [
+    "evaluate_program",
+    "goal_holds",
+    "immediate_consequences",
+    "Database",
+]
 
 Element = Hashable
 Row = tuple[Element, ...]
@@ -96,6 +102,7 @@ def evaluate_program(
     structure: Structure,
     *,
     method: str = "semi_naive",
+    engine: str | None = None,
 ) -> Database:
     """Compute the least fixed point of the program on ``structure``.
 
@@ -104,8 +111,15 @@ def evaluate_program(
     set of facts.  ``method`` selects ``"semi_naive"`` (default) or
     ``"naive"`` (every rule re-fired in full each round; kept as the
     ablation baseline for experiment A4 — both must compute the same
-    fixpoint).
+    fixpoint).  ``engine`` follows the library-wide flag: the compiled
+    bitset evaluator (:mod:`repro.kernel.datalogk`) by default, this
+    module's reference loops with ``engine="legacy"`` — both return the
+    identical database (the parity suites assert fact-for-fact equality).
     """
+    if resolve_engine(engine) == KERNEL:
+        from repro.kernel.datalogk import evaluate_datalog
+
+        return evaluate_datalog(program, structure, method=method)
     if method not in ("semi_naive", "naive"):
         raise DatalogError(f"unknown evaluation method {method!r}")
     relations: Database = {}
@@ -168,7 +182,44 @@ def evaluate_program(
     return relations
 
 
-def goal_holds(program: DatalogProgram, structure: Structure) -> bool:
-    """Truth of the (0-ary or n-ary) goal: non-emptiness of its relation."""
-    relations = evaluate_program(program, structure)
+def goal_holds(
+    program: DatalogProgram,
+    structure: Structure,
+    *,
+    engine: str | None = None,
+) -> bool:
+    """Truth of the (0-ary or n-ary) goal: non-emptiness of its relation.
+
+    The kernel engine stops its fixpoint run the moment the goal derives
+    (sound: evaluation is monotone); the legacy engine computes the full
+    fixpoint first.  The verdicts are identical either way.
+    """
+    if resolve_engine(engine) == KERNEL:
+        from repro.kernel.datalogk import datalog_goal_holds
+
+        return datalog_goal_holds(program, structure)
+    relations = evaluate_program(program, structure, engine="legacy")
     return bool(relations[program.goal])
+
+
+def immediate_consequences(
+    program: DatalogProgram,
+    database: Mapping[str, set[Row]],
+    domain: Iterable[Element],
+) -> Database:
+    """One application of the immediate-consequence operator T_P.
+
+    Fires every rule once against ``database`` (unsafe head variables
+    ranging over ``domain``) and returns the derived facts per IDB
+    predicate.  The least fixed point is exactly the T_P-closed superset
+    of the EDB — the property suite uses this to check idempotence:
+    applying T_P to :func:`evaluate_program`'s output derives nothing
+    outside it.
+    """
+    derived: Database = {p: set() for p in program.idb_predicates}
+    ordered = sorted(domain, key=_sort_key)
+    for rule in program.rules:
+        derived[rule.head.relation] |= _fire_rule(
+            rule, database, ordered, None
+        )
+    return derived

@@ -29,10 +29,15 @@ problem:
   game: bitset tables over ≤ k-subassignments with worklist propagation
   and AC-2001-style residuals (replacing the old ``k = 2``-only
   ``pebble2`` fast path — ``spoiler_wins_k2`` remains as an alias);
+* :mod:`repro.kernel.datalogk` — semi-naive Datalog evaluation lowered
+  to bitset delta tables over the compiled encodings: facts as
+  mixed-radix tuple codes, rule bodies as cylinder-mask semijoins over
+  binding spaces, incremental per-atom lifted masks — the engine behind
+  :mod:`repro.datalog.evaluation`'s kernel path;
 * :mod:`repro.kernel.estimate` — the width-aware planner: cheap cost
   models over compiled sizes, width and Gaifman-degree estimates, and
-  the search/DP/pebble route choice the pipeline's planner strategy and
-  the solve service's thread/process routing consume;
+  the search/DP/pebble/datalog route choice the pipeline's planner
+  strategy and the solve service's thread/process routing consume;
 * :mod:`repro.kernel.engine` — the kernel/legacy flag keeping the
   reference implementations available as the parity oracle.
 """
@@ -53,6 +58,12 @@ from repro.kernel.engine import (
     use_engine,
 )
 from repro.kernel.corek import core_structure, is_core_structure, retraction
+from repro.kernel.datalogk import (
+    CompiledDatalog,
+    compile_datalog,
+    datalog_goal_holds,
+    evaluate_datalog,
+)
 from repro.kernel.decomp import decomposition_exists, solve_decomposition
 from repro.kernel.estimate import Plan, estimate_cost, plan_instance
 from repro.kernel.pebblek import (
@@ -67,16 +78,20 @@ from repro.kernel.search import count_solutions, search_homomorphisms, solve
 __all__ = [
     "KERNEL",
     "LEGACY",
+    "CompiledDatalog",
     "CompiledSource",
     "CompiledTarget",
     "Plan",
+    "compile_datalog",
     "compile_source",
     "compile_target",
     "core_structure",
     "count_solutions",
+    "datalog_goal_holds",
     "decomposition_exists",
     "default_engine",
     "estimate_cost",
+    "evaluate_datalog",
     "initial_domains",
     "is_core_structure",
     "kernel_consistency_tables",

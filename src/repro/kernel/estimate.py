@@ -82,12 +82,13 @@ PEBBLE_COST_CAP = 40_000.0
 class Plan:
     """One instance's routing decision plus the signals behind it.
 
-    ``route`` is ``"search"``, ``"dp"``, or ``"pebble"``;
+    ``route`` is ``"search"``, ``"dp"``, ``"pebble"``, or ``"datalog"``;
     ``predicted_cost`` is the chosen route's cost in the shared unitless
     scale (what the service compares against its process threshold).
-    ``dp_cost`` / ``pebble_cost`` are ``None`` when the route was not
-    available for this instance (width above threshold or never
-    estimated; target/source outside the pebble bounds).
+    ``dp_cost`` / ``pebble_cost`` / ``datalog_cost`` are ``None`` when
+    the route was not available for this instance (width above threshold
+    or never estimated; target/source outside the pebble bounds; no
+    canonical-Datalog ``k`` requested).
     """
 
     route: str
@@ -100,6 +101,8 @@ class Plan:
     pebble_k: int | None
     max_degree: int
     avg_degree: float
+    datalog_cost: float | None = None
+    datalog_k: int | None = None
 
     def as_dict(self) -> dict:
         """A JSON-friendly view for ``Solution.stats`` and snapshots."""
@@ -109,9 +112,11 @@ class Plan:
             "search_cost": self.search_cost,
             "dp_cost": self.dp_cost,
             "pebble_cost": self.pebble_cost,
+            "datalog_cost": self.datalog_cost,
             "width": self.width,
             "num_bags": self.num_bags,
             "pebble_k": self.pebble_k,
+            "datalog_k": self.datalog_k,
             "max_degree": self.max_degree,
             "avg_degree": self.avg_degree,
         }
@@ -188,6 +193,17 @@ def _pebble_cost(n: int, m: int, k: int) -> float:
     return states * PEBBLE_STATE_FACTOR
 
 
+def _datalog_cost(n: int, m: int, k: int) -> float:
+    """Cost of deciding the canonical k-Datalog program ρ_B on (A, B).
+
+    By Theorem 4.2 the kernel decides "ρ_B derives its goal on A" by
+    playing the compiled existential k-pebble game — never materializing
+    the |B|^k-rule program — so the cost *is* the game's state count on
+    the same unitless scale as :func:`_pebble_cost`.
+    """
+    return _pebble_cost(n, m, k)
+
+
 def plan_instance(
     source: Structure | CompiledSource,
     target: Structure | CompiledTarget,
@@ -196,6 +212,7 @@ def plan_instance(
     width_threshold: int = 3,
     pebble_k: int | None = None,
     allow_pebble: bool = True,
+    datalog_k: int | None = None,
     decomposition: TreeDecomposition | None = None,
     decomposition_provider: Callable[[], TreeDecomposition] | None = None,
 ) -> Plan:
@@ -216,6 +233,16 @@ def plan_instance(
        (Theorem 4.9), and a surviving closure costs one polynomial pass
        before the search fallback;
     3. **search** otherwise — the NP fallback.
+
+    ``datalog_k`` is the explicit opt-in of the canonical-Datalog route
+    (``solve(..., try_canonical_datalog=k)``): the caller asserts the
+    Theorem 4.2 decision — does ρ_B derive its goal on A? — is the
+    question to ask first.  When the pebble-style bounds and the
+    :data:`PEBBLE_COST_CAP` budget admit it, the ``"datalog"`` route is
+    chosen ahead of the implicit pebble heuristic (it *is* the same
+    compiled game by Theorem 4.2, so it shares the cost model), losing
+    only to a within-threshold DP.  A surviving closure still falls back
+    to search in the strategy, so the route stays sound.
 
     ``decomposition`` short-circuits the width estimate with a known
     certificate; otherwise ``decomposition_provider`` (e.g. the
@@ -276,8 +303,18 @@ def plan_instance(
     ):
         pebble_cost = _pebble_cost(n, m, k)
 
+    datalog_cost: float | None = None
+    if (
+        datalog_k is not None
+        and m <= PEBBLE_TARGET_BOUND
+        and n <= PEBBLE_SOURCE_BOUND
+    ):
+        datalog_cost = _datalog_cost(n, m, datalog_k)
+
     if dp_cost is not None and dp_cost <= search_cost:
         route, cost = "dp", dp_cost
+    elif datalog_cost is not None and datalog_cost <= PEBBLE_COST_CAP:
+        route, cost = "datalog", datalog_cost
     elif (
         dp_cost is None
         and pebble_cost is not None
@@ -297,4 +334,6 @@ def plan_instance(
         pebble_k=k if route == "pebble" else (pebble_k or None),
         max_degree=max_degree,
         avg_degree=avg_degree,
+        datalog_cost=datalog_cost,
+        datalog_k=datalog_k,
     )

@@ -68,7 +68,7 @@ from repro.core.pipeline import (
     SolverPipeline,
     StructureCache,
 )
-from repro.core.strategies import CONTAINMENT_ROUTE
+from repro.core.strategies import CONTAINMENT_ROUTE, DATALOG_ROUTE
 from repro.exceptions import (
     ServiceClosedError,
     ServiceOverloadedError,
@@ -401,6 +401,49 @@ class SolveService:
         self.stats.containment_requests += 1
         return waiter
 
+    def submit_datalog(
+        self,
+        source: Structure,
+        target: Structure,
+        *,
+        k: int = 2,
+        priority: Priority | int = Priority.NORMAL,
+        timeout: float | None = _UNSET,  # type: ignore[assignment]
+    ) -> Awaitable[Solution]:
+        """Admit a canonical-Datalog request (the Theorem 4.2 route).
+
+        The Datalog plane's service entry point: "does the canonical
+        k-Datalog program ρ_B derive its goal on A?" — which by Theorem
+        4.2 the planner answers through the compiled k-pebble game, never
+        materializing ρ_B.  The request is admitted like any solve (with
+        ``plan`` forced on so the planner strategy can claim it), so it
+        gets coalescing, priorities, timeouts, and backpressure — plus
+        its own ``"datalog"`` latency bucket and the
+        ``datalog_requests`` counter in :class:`ServiceStats`.
+
+        Awaiting the result yields the underlying :class:`Solution` —
+        exact either way: ``solution.exists`` is ``False`` when ρ_B
+        derives its goal (the Spoiler wins, so ``A ↛ B``), and otherwise
+        the planner's search fallback decided the instance, with the
+        routing visible in ``solution.stats.plan``.
+        """
+        try:
+            waiter = self._submit(
+                source,
+                target,
+                priority=priority,
+                timeout=timeout,
+                width_threshold=None,
+                try_pebble_refutation=_UNSET,
+                route=DATALOG_ROUTE,
+                datalog_k=k,
+            )
+        except ServiceOverloadedError:
+            self.stats.rejected += 1
+            raise
+        self.stats.datalog_requests += 1
+        return waiter
+
     async def submit_many(
         self,
         pairs: Iterable[tuple[Structure, Structure]],
@@ -459,6 +502,7 @@ class SolveService:
         width_threshold: int | None,
         try_pebble_refutation,
         route: str | None = None,
+        datalog_k: int | None = None,
     ) -> Awaitable[Solution]:
         if not self._running or self._loop is None:
             raise ServiceClosedError(
@@ -482,7 +526,10 @@ class SolveService:
                 if try_pebble_refutation is _UNSET
                 else try_pebble_refutation
             ),
-            "plan": config.plan,
+            # A canonical-Datalog request forces planning on: the route
+            # only exists inside the planner strategy.
+            "plan": config.plan or datalog_k is not None,
+            "try_canonical_datalog": datalog_k,
         }
         # The coalescing key is computed here, on the loop thread, because
         # admission and coalescing are synchronous by contract.  The
@@ -499,6 +546,7 @@ class SolveService:
             options["width_threshold"],
             options["try_pebble_refutation"],
             options["plan"],
+            options["try_canonical_datalog"],
             route,
         )
         self.stats.submitted += 1
@@ -623,6 +671,7 @@ class SolveService:
                 width_threshold=options["width_threshold"],
                 pebble_k=options["try_pebble_refutation"],
                 allow_pebble=options["plan"],
+                datalog_k=options["try_canonical_datalog"],
             ).predicted_cost
         if self._process_pool is not None and cost >= threshold:
             return "process", cost, None

@@ -107,6 +107,10 @@ class ServiceStats:
     #: of ``submitted``; their latencies land in the "containment" route
     #: bucket instead of the solving strategy's).
     containment_requests: int = 0
+    #: Canonical-Datalog (Theorem 4.2) requests admitted via
+    #: ``submit_datalog`` (also a subset of ``submitted``; latencies land
+    #: in the "datalog" route bucket).
+    datalog_requests: int = 0
     queue_depth: int = 0
     max_queue_depth: int = 0
     thread_solves: int = 0
@@ -167,6 +171,7 @@ class ServiceStats:
             "timeouts": self.timeouts,
             "coalesce_hits": self.coalesce_hits,
             "containment_requests": self.containment_requests,
+            "datalog_requests": self.datalog_requests,
             "queue_depth": self.queue_depth,
             "max_queue_depth": self.max_queue_depth,
             "thread_solves": self.thread_solves,

@@ -22,6 +22,7 @@ from repro.boolean.relations import (
     tuple_xor3,
 )
 from repro.cq.query import Atom, ConjunctiveQuery
+from repro.datalog.program import DatalogProgram, Rule
 from repro.structures.structure import Structure
 from repro.structures.vocabulary import RelationSymbol, Vocabulary
 
@@ -44,6 +45,31 @@ settings.register_profile(
     max_examples=30,
     suppress_health_check=[HealthCheck.too_slow],
 )
+
+# The "crosshair" profile swaps random example generation for the
+# solver-backed hypothesis-crosshair backend: properties run on symbolic
+# inputs and an SMT solver hunts for falsifying assignments instead of
+# sampling for them.  The backend is an optional extra (install with
+# `pip install .[verify]`; the scheduled verify workflow does) — when it
+# is absent the profile still registers with the same bounds so
+# HYPOTHESIS_PROFILE=crosshair runs everywhere, falling back to the
+# regular generator.  Examples are few and the deadline is off because
+# symbolic execution is orders of magnitude slower per example.
+_CROSSHAIR_BOUNDS = dict(
+    max_examples=10,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=list(HealthCheck),
+)
+try:
+    import hypothesis_crosshair  # noqa: F401 — registers the backend
+
+    settings.register_profile(
+        "crosshair", backend="crosshair", **_CROSSHAIR_BOUNDS
+    )
+except ImportError:
+    settings.register_profile("crosshair", **_CROSSHAIR_BOUNDS)
+
 settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
@@ -225,6 +251,90 @@ def boolean_relations(
         operation, op_arity = operations[closure]
         raw = set(_closed(raw, operation, op_arity))
     return BooleanRelation(arity, raw)
+
+
+# ---------------------------------------------------------------------------
+# Datalog programs and CSP templates
+# ---------------------------------------------------------------------------
+
+@st.composite
+def datalog_programs(
+    draw,
+    max_rules: int = 3,
+    max_body_atoms: int = 3,
+    max_variables: int = 4,
+    max_arity: int = 2,
+) -> DatalogProgram:
+    """Random small, always-valid Datalog programs.
+
+    Predicate arities are fixed up front (E* extensional, P* intensional)
+    so every program passes arity validation; the goal is the first
+    rule's head, so it is always an IDB.  The shapes cover what the
+    evaluators must handle: recursion and mutual recursion (IDB body
+    atoms), body-less rules, *unsafe* head variables (head variables the
+    body does not bind — they range over the active domain), repeated
+    variables in heads and bodies, and 0-ary IDB predicates (Boolean
+    goals).  Sizes stay small because the properties cross-evaluate
+    every example under four engine/method combinations.
+    """
+    edb_arities = {
+        f"E{i}": draw(st.integers(min_value=1, max_value=max_arity))
+        for i in range(draw(st.integers(min_value=1, max_value=2)))
+    }
+    idb_arities = {
+        f"P{i}": draw(st.integers(min_value=0, max_value=max_arity))
+        for i in range(draw(st.integers(min_value=1, max_value=2)))
+    }
+    arities = {**edb_arities, **idb_arities}
+    predicates = sorted(arities)
+    idb_names = sorted(idb_arities)
+    variables = [f"V{i}" for i in range(max_variables)]
+    rules = []
+    for index in range(draw(st.integers(min_value=1, max_value=max_rules))):
+        head_name = (
+            idb_names[0] if index == 0 else draw(st.sampled_from(idb_names))
+        )
+        head = Atom(
+            head_name,
+            tuple(
+                draw(st.sampled_from(variables))
+                for _ in range(idb_arities[head_name])
+            ),
+        )
+        body = tuple(
+            Atom(
+                name,
+                tuple(
+                    draw(st.sampled_from(variables))
+                    for _ in range(arities[name])
+                ),
+            )
+            for name in (
+                draw(st.sampled_from(predicates))
+                for _ in range(
+                    draw(st.integers(min_value=0, max_value=max_body_atoms))
+                )
+            )
+        )
+        rules.append(Rule(head, body))
+    return DatalogProgram(rules, rules[0].head.relation)
+
+
+@st.composite
+def csp_templates(
+    draw, max_elements: int = 3, max_arity: int = 2, max_facts: int = 4
+) -> Structure:
+    """Small nonempty templates B for canonical programs ρ_B.
+
+    Bounded hard: ρ_B has |B|^k IDB predicates, and the Theorem 4.2
+    properties evaluate it with the legacy engine as the oracle.
+    """
+    vocabulary = draw(vocabularies(max_symbols=2, max_arity=max_arity))
+    return draw(
+        structures(
+            vocabulary, max_elements=max_elements, max_facts=max_facts
+        )
+    )
 
 
 @st.composite
