@@ -1,0 +1,173 @@
+"""Deadlines and cooperative cancellation for the kernel hot loops.
+
+A timed-out request is only cheap if the *computation* stops: the solve
+service's waiter-side ``asyncio.wait_for`` frees the caller, but the
+worker thread (or process) would keep grinding an abandoned search to
+completion, stalling every request queued behind it.  This module is the
+cooperative half of the story:
+
+* :class:`Deadline` — a monotonic-clock budget (``Deadline.after(1.5)``)
+  that travels from ``SolveService.submit(timeout=...)`` down to the
+  engines.  Deadlines are *extendable*: when a coalesced duplicate with
+  a longer timeout attaches to a running computation, the shared
+  deadline moves out and the already-running loops simply keep going.
+* :class:`CancellationToken` — a deadline plus an explicit ``cancel()``
+  switch.  ``token.check()`` raises :class:`SolveTimeoutError` when the
+  deadline has passed (or the token was cancelled), from *inside* the
+  computation.
+* an ambient per-thread scope — :func:`cancel_scope` installs a token,
+  :func:`current_token` reads it.  The kernel loops fetch the token once
+  on entry and test it every :data:`CHECK_INTERVAL` units of work, so
+  the happy path with no deadline pays one ``is not None`` per node and
+  nothing else.
+
+The pattern inside an engine::
+
+    token = current_token()
+    ...
+    if token is not None and not (counter & CHECK_MASK):
+        token.check()   # raises SolveTimeoutError when expired
+
+Raising from inside the loop unwinds through the strategy and the
+pipeline like any error, so the worker is free within one check interval
+of the deadline passing — the property ``tests/test_chaos.py`` pins.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.exceptions import SolveTimeoutError
+
+__all__ = [
+    "CHECK_INTERVAL",
+    "CHECK_MASK",
+    "CancellationToken",
+    "Deadline",
+    "cancel_scope",
+    "combine_deadlines",
+    "checkpoint",
+    "current_token",
+]
+
+#: How many units of work (search nodes, worklist pops, table rows) an
+#: engine performs between two token checks.  A power of two so the test
+#: is one AND against :data:`CHECK_MASK`.
+CHECK_INTERVAL = 1024
+CHECK_MASK = CHECK_INTERVAL - 1
+
+
+class Deadline:
+    """An absolute point on the monotonic clock, extendable while running.
+
+    ``expires_at`` is in :func:`time.monotonic` seconds.  Extension is a
+    single float store (atomic under the GIL), so a solve thread may read
+    ``remaining()`` while the event loop extends the deadline for a
+    newly attached coalesced waiter.
+    """
+
+    __slots__ = ("expires_at",)
+
+    def __init__(self, expires_at: float) -> None:
+        self.expires_at = expires_at
+
+    @classmethod
+    def after(cls, seconds: float) -> "Deadline":
+        """A deadline ``seconds`` from now."""
+        return cls(time.monotonic() + seconds)
+
+    def remaining(self) -> float:
+        """Seconds left; negative once expired."""
+        return self.expires_at - time.monotonic()
+
+    def expired(self) -> bool:
+        return time.monotonic() >= self.expires_at
+
+    def extend_to(self, other: "Deadline | None") -> None:
+        """Move the expiry out to cover ``other`` (later wins)."""
+        if other is not None and other.expires_at > self.expires_at:
+            self.expires_at = other.expires_at
+
+    def __repr__(self) -> str:  # pragma: no cover — debugging aid
+        return f"Deadline(remaining={self.remaining():.3f}s)"
+
+
+def combine_deadlines(
+    a: "Deadline | None", b: "Deadline | None"
+) -> "Deadline | None":
+    """The *looser* of two deadlines (``None`` means unbounded and wins).
+
+    This is the coalescing rule: a shared computation must run at least
+    as long as its most patient waiter needs.
+    """
+    if a is None or b is None:
+        return None
+    return a if a.expires_at >= b.expires_at else b
+
+
+class CancellationToken:
+    """A deadline plus an explicit cancel switch, checked cooperatively."""
+
+    __slots__ = ("deadline", "_cancelled")
+
+    def __init__(self, deadline: Deadline | None = None) -> None:
+        self.deadline = deadline
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Flip the switch; the next :meth:`check` raises."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def expired(self) -> bool:
+        return self._cancelled or (
+            self.deadline is not None and self.deadline.expired()
+        )
+
+    def check(self) -> None:
+        """Raise :class:`SolveTimeoutError` if cancelled or past deadline."""
+        if self._cancelled:
+            raise SolveTimeoutError("solve cancelled cooperatively")
+        deadline = self.deadline
+        if deadline is not None and deadline.expired():
+            raise SolveTimeoutError(
+                "solve deadline expired inside the computation"
+            )
+
+
+_scope = threading.local()
+
+
+def current_token() -> CancellationToken | None:
+    """The token installed on this thread, or ``None`` (the happy path)."""
+    return getattr(_scope, "token", None)
+
+
+@contextmanager
+def cancel_scope(token: CancellationToken | None) -> Iterator[None]:
+    """Install ``token`` as this thread's ambient cancellation token.
+
+    Scopes nest: the innermost installed token wins, and the previous
+    one is restored on exit.  Installing ``None`` explicitly shields an
+    inner computation from an outer deadline (used nowhere yet, but the
+    semantics should be unsurprising).
+    """
+    previous = getattr(_scope, "token", None)
+    _scope.token = token
+    try:
+        yield
+    finally:
+        _scope.token = previous
+
+
+def checkpoint() -> None:
+    """Check the ambient token, if any (for coarse-grained call sites)."""
+    token = getattr(_scope, "token", None)
+    if token is not None:
+        token.check()

@@ -46,6 +46,7 @@ from typing import (
 )
 
 from repro.boolean.schaefer import SchaeferClass, classify_structure
+from repro.core.cancellation import CancellationToken, Deadline, cancel_scope
 from repro.exceptions import VocabularyError
 from repro.kernel.compile import CompiledTarget, compile_target
 from repro.structures.fingerprint import canonical_fingerprint
@@ -458,6 +459,7 @@ class SolverPipeline:
         try_pebble_refutation: int | None = None,
         plan: bool = False,
         try_canonical_datalog: int | None = None,
+        deadline: Deadline | None = None,
     ) -> Solution:
         """Decide ``source → target`` with the first applicable route.
 
@@ -481,6 +483,12 @@ class SolverPipeline:
             ρ_B derive its goal on A?", answered by the compiled pebble
             game.  A derivation refutes the instance outright; otherwise
             the planner falls back to search, so the answer stays exact.
+        deadline:
+            A cooperative time budget.  The kernel engines check it every
+            :data:`~repro.core.cancellation.CHECK_INTERVAL` units of work
+            and raise :class:`~repro.exceptions.SolveTimeoutError` from
+            inside the computation once it passes — so a timed-out solve
+            stops burning its thread, not just its waiter.
 
         Returns
         -------
@@ -488,6 +496,19 @@ class SolverPipeline:
             With ``stats`` populated: strategies consulted, cache traffic,
             and timings.
         """
+        if deadline is not None:
+            # Install the ambient token for this thread and re-enter; the
+            # recursive call sees ``deadline=None`` so a caller-installed
+            # scope (the service's) is never clobbered on the plain path.
+            with cancel_scope(CancellationToken(deadline)):
+                return self.solve(
+                    source,
+                    target,
+                    width_threshold=width_threshold,
+                    try_pebble_refutation=try_pebble_refutation,
+                    plan=plan,
+                    try_canonical_datalog=try_canonical_datalog,
+                )
         if source.vocabulary != target.vocabulary:
             raise VocabularyError(
                 "a homomorphism problem needs a common vocabulary"

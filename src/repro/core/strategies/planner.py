@@ -38,6 +38,7 @@ from __future__ import annotations
 
 from repro.core.pipeline import Solution, SolveContext
 from repro.datalog.canonical_program import canonical_refutes
+from repro.exceptions import ResourceBudgetError
 from repro.kernel.decomp import solve_decomposition
 from repro.kernel.estimate import Plan, plan_instance
 from repro.kernel.pebblek import spoiler_wins_k
@@ -95,12 +96,24 @@ class WidthPlannerStrategy:
         plan = self._plan(source, target, context)
         compiled = context.compiled_target(target)
         if plan.route == "dp":
-            return Solution(
-                solve_decomposition(
-                    source, compiled, context.decomposition(source)
-                ),
-                f"{self.name}(route=dp,width={plan.width})",
-            )
+            try:
+                return Solution(
+                    solve_decomposition(
+                        source, compiled, context.decomposition(source)
+                    ),
+                    f"{self.name}(route=dp,width={plan.width})",
+                )
+            except ResourceBudgetError:
+                # The bag-table bound would not fit; the search engine
+                # answers the same question without the table.
+                plan_dict = dict(context.scratch.get("plan") or {})
+                plan_dict["dp_fallback"] = "search-budget"
+                context.scratch["plan"] = plan_dict
+                return Solution(
+                    kernel_solve(source, compiled),
+                    f"{self.name}(route=dp,width={plan.width},"
+                    "fallback=search-budget)",
+                )
         if plan.route == "datalog":
             k = plan.datalog_k
             assert k is not None  # the route is only chosen when requested

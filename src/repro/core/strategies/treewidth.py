@@ -8,12 +8,21 @@ structure cache, so a source reused across solves is decomposed once,
 and the DP runs on the compiled kernel (:mod:`repro.kernel.decomp`)
 against the cached target compilation — the same amortization story as
 the backtracking strategy.
+
+The DP guards its own memory: when the ``m^(w+1)`` bag-table bound
+exceeds the kernel's cell budget it raises
+:class:`~repro.exceptions.ResourceBudgetError` *before* allocating, and
+this route degrades to the kernel search — semantically identical
+(both are exact), just without the polynomial guarantee.  The fallback
+is visible in the strategy label.
 """
 
 from __future__ import annotations
 
 from repro.core.pipeline import Solution, SolveContext
+from repro.exceptions import ResourceBudgetError
 from repro.kernel.decomp import solve_decomposition
+from repro.kernel.search import solve as kernel_solve
 from repro.structures.structure import Structure
 
 __all__ = ["TreewidthStrategy"]
@@ -35,9 +44,15 @@ class TreewidthStrategy:
         self, source: Structure, target: Structure, context: SolveContext
     ) -> Solution:
         decomposition = context.decomposition(source)
-        return Solution(
-            solve_decomposition(
-                source, context.compiled_target(target), decomposition
-            ),
-            f"{self.name}(width={decomposition.width})",
-        )
+        compiled = context.compiled_target(target)
+        try:
+            return Solution(
+                solve_decomposition(source, compiled, decomposition),
+                f"{self.name}(width={decomposition.width})",
+            )
+        except ResourceBudgetError:
+            return Solution(
+                kernel_solve(source, compiled),
+                f"{self.name}(width={decomposition.width},"
+                "fallback=search-budget)",
+            )

@@ -46,6 +46,27 @@ class DatalogError(ReproError):
     inconsistent arities, undefined goal, ...)."""
 
 
+class ResourceBudgetError(ReproError):
+    """A computation refused to allocate a table its cost model says won't fit.
+
+    Raised by the kernel's table-building engines (the ``n^v`` binding
+    spaces of :mod:`repro.kernel.datalogk`, the bag tables of
+    :mod:`repro.kernel.decomp`) *before* the allocation happens, so a
+    planner or serving layer can degrade to a semantically equivalent
+    route (search) instead of letting a worker process OOM.  Never
+    retryable as-is: the same request hits the same bound.
+    """
+
+
+class FaultInjectedError(ReproError):
+    """A deterministic fault-injection point fired (:mod:`repro.faultinject`).
+
+    Only ever raised when a fault plan is installed — production traffic
+    cannot see it.  The service treats it like any transient kernel
+    failure: retryable, counted against the kernel circuit breaker.
+    """
+
+
 class ServiceError(ReproError):
     """Base class for solve-service failures (:mod:`repro.service`)."""
 
@@ -63,9 +84,23 @@ class ServiceOverloadedError(ServiceError):
 
 
 class SolveTimeoutError(ServiceError):
-    """A request's per-request timeout elapsed before its solve finished.
+    """A request's deadline elapsed before its solve finished.
 
-    Only the *waiter* gives up: the underlying computation keeps running
-    for any coalesced duplicates, and nothing about the timeout is
-    cached, so a retry gets a correct answer.
+    Raised on two paths that look identical to the caller: the *waiter's*
+    ``asyncio.wait_for`` firing, and — with deadline propagation — the
+    computation itself observing an expired
+    :class:`repro.core.cancellation.Deadline` at a kernel checkpoint and
+    unwinding, which frees the worker instead of abandoning it.  Nothing
+    about a timeout is cached, so a retry gets a correct answer.
+    """
+
+
+class WorkerCrashedError(ServiceError):
+    """A process-pool worker died while executing (or awaiting) a solve.
+
+    The typed wrapper around a mid-flight ``BrokenProcessPool``: the
+    supervisor respawns the pool and re-dispatches in-flight requests,
+    and only raises this when the retry budget, the request deadline, or
+    the pool's restart budget is exhausted.  Retryable by construction —
+    the crash says nothing about the instance being solved.
     """

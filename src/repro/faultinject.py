@@ -1,0 +1,219 @@
+"""Deterministic fault injection for the resilience chaos suite.
+
+The resilience layer (supervised workers, retries, breakers, deadline
+propagation) is only trustworthy if its failure paths are *exercised*,
+and real failures — a worker segfault, an OOM, a slow disk — do not show
+up on demand.  This module plants named injection points on the hot
+paths and drives them from a seeded plan, so ``tests/test_chaos.py`` can
+replay the exact same storm of worker kills, kernel exceptions, delays,
+and budget breaches on every run of a given seed.
+
+Design constraints, in order:
+
+* **Zero cost when disarmed.**  Every hook compiles to one module-global
+  read and a ``None`` test; no plan object, no dict lookup, no RNG.
+  Production traffic never pays for the harness (the P3 throughput gate
+  holds with the harness merely imported).
+* **Deterministic per point.**  Each injection point draws from its own
+  ``random.Random(f"{seed}:{point}")`` stream under a lock, so whether
+  the *n*-th hit of a point fires depends only on the seed and *n* —
+  not on how the scheduler interleaved other points.  (Which request
+  suffers the *n*-th hit still depends on scheduling; the chaos suite
+  therefore asserts *invariants* — every request terminates correctly —
+  not specific victims.)
+* **Crosses the process boundary.**  ``install(plan, env=True)`` exports
+  the plan as JSON in ``REPRO_FAULT_PLAN``; pool workers re-install it
+  from the environment in their initializer, so "kill the worker
+  mid-solve" faults fire *inside* the worker process.
+
+The planted points:
+
+====================================  =======================================
+``service.dispatch.delay``            sleep before executing a request
+``worker.kill.before``                ``os._exit`` before the worker solves
+``worker.kill.during``                ``os._exit`` on a timer while solving
+``kernel.compile.raise``              :class:`FaultInjectedError` from
+                                      ``compile_target``
+``datalogk.budget``                   forced :class:`ResourceBudgetError`
+                                      at the binding-space guard
+``decomp.budget``                     forced :class:`ResourceBudgetError`
+                                      at the bag-table guard
+====================================  =======================================
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import threading
+from typing import Mapping
+
+from repro.exceptions import FaultInjectedError
+
+__all__ = [
+    "FaultPlan",
+    "ENV_VAR",
+    "current",
+    "delay_seconds",
+    "fires",
+    "install",
+    "install_from_env",
+    "raise_fault",
+    "uninstall",
+]
+
+ENV_VAR = "REPRO_FAULT_PLAN"
+
+#: The kill faults exit with this status so a post-mortem can tell an
+#: injected death from a genuine crash.
+KILL_EXIT_STATUS = 86
+
+
+class FaultPlan:
+    """A seeded assignment of firing probabilities to injection points.
+
+    ``points`` maps point names to probabilities in ``[0, 1]``; missing
+    points never fire.  ``delay_ms`` bounds the uniform draw of the
+    delay points (both dispatch delays and the timer of
+    ``worker.kill.during``).
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        points: Mapping[str, float],
+        *,
+        delay_ms: tuple[float, float] = (1.0, 25.0),
+    ) -> None:
+        self.seed = seed
+        self.points = dict(points)
+        self.delay_ms = (float(delay_ms[0]), float(delay_ms[1]))
+        self._lock = threading.Lock()
+        self._rngs: dict[str, random.Random] = {}
+        #: Per-point counters of hits and fires (observability for tests).
+        self.hits: dict[str, int] = {}
+        self.fired: dict[str, int] = {}
+
+    def _rng(self, point: str) -> random.Random:
+        rng = self._rngs.get(point)
+        if rng is None:
+            rng = self._rngs[point] = random.Random(f"{self.seed}:{point}")
+        return rng
+
+    def fires(self, point: str) -> bool:
+        """Whether this hit of ``point`` fires (one seeded draw)."""
+        probability = self.points.get(point, 0.0)
+        if probability <= 0.0:
+            return False
+        with self._lock:
+            self.hits[point] = self.hits.get(point, 0) + 1
+            fired = self._rng(point).random() < probability
+            if fired:
+                self.fired[point] = self.fired.get(point, 0) + 1
+            return fired
+
+    def delay(self, point: str) -> float:
+        """Seconds to sleep at a delay point; ``0.0`` when it did not fire."""
+        if not self.fires(point):
+            return 0.0
+        low, high = self.delay_ms
+        with self._lock:
+            return self._rng(point + ".amount").uniform(low, high) / 1000.0
+
+    # -- serialization across the process boundary ---------------------------
+
+    def spec(self) -> str:
+        return json.dumps(
+            {
+                "seed": self.seed,
+                "points": self.points,
+                "delay_ms": list(self.delay_ms),
+            }
+        )
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "FaultPlan":
+        data = json.loads(spec)
+        return cls(
+            int(data["seed"]),
+            {str(k): float(v) for k, v in data["points"].items()},
+            delay_ms=tuple(data.get("delay_ms", (1.0, 25.0))),
+        )
+
+
+#: The installed plan; ``None`` (the default, always, in production)
+#: short-circuits every hook to a single global read.
+_plan: FaultPlan | None = None
+
+
+def install(plan: FaultPlan, *, env: bool = False) -> None:
+    """Arm ``plan``; with ``env`` also export it to worker processes.
+
+    ``env=True`` writes :data:`ENV_VAR` so process pools spawned *after*
+    this call pick the plan up in their initializer
+    (:func:`install_from_env`).
+    """
+    global _plan
+    _plan = plan
+    if env:
+        os.environ[ENV_VAR] = plan.spec()
+
+
+def uninstall() -> None:
+    """Disarm fault injection and clear the environment export."""
+    global _plan
+    _plan = None
+    os.environ.pop(ENV_VAR, None)
+
+
+def install_from_env() -> None:
+    """Arm the plan exported in :data:`ENV_VAR`, if any (worker side)."""
+    spec = os.environ.get(ENV_VAR)
+    if spec:
+        global _plan
+        _plan = FaultPlan.from_spec(spec)
+
+
+def current() -> FaultPlan | None:
+    return _plan
+
+
+def fires(point: str) -> bool:
+    """Hook: one seeded draw at ``point``; always ``False`` when disarmed."""
+    plan = _plan
+    return plan is not None and plan.fires(point)
+
+
+def delay_seconds(point: str) -> float:
+    """Hook: the sleep a delay point asks for; ``0.0`` when disarmed."""
+    plan = _plan
+    return plan.delay(point) if plan is not None else 0.0
+
+
+def raise_fault(point: str) -> None:
+    """Hook: raise :class:`FaultInjectedError` when ``point`` fires."""
+    plan = _plan
+    if plan is not None and plan.fires(point):
+        raise FaultInjectedError(f"injected fault at {point!r}")
+
+
+def kill_process(point: str, *, delay_range: tuple[float, float] | None = None) -> None:
+    """Hook: hard-kill this process when ``point`` fires (worker side).
+
+    With ``delay_range`` the kill happens on a daemon timer a few
+    milliseconds later — mid-solve — instead of immediately.
+    ``os._exit`` (not ``sys.exit``) so no ``finally`` blocks run: the
+    death is as abrupt as a segfault, which is the failure mode the
+    supervisor must survive.
+    """
+    plan = _plan
+    if plan is None or not plan.fires(point):
+        return
+    if delay_range is None:
+        os._exit(KILL_EXIT_STATUS)
+    with plan._lock:
+        pause = plan._rng(point + ".amount").uniform(*delay_range)
+    timer = threading.Timer(pause, os._exit, args=(KILL_EXIT_STATUS,))
+    timer.daemon = True
+    timer.start()

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import Hashable
 
+from repro import faultinject
 from repro.structures.structure import Structure
 
 __all__ = ["CompiledSource", "CompiledTarget", "compile_source", "compile_target"]
@@ -206,6 +207,7 @@ class CompiledSource:
 
 def compile_target(target: Structure | CompiledTarget) -> CompiledTarget:
     """Compile ``target`` (idempotent; memoized on the structure)."""
+    faultinject.raise_fault("kernel.compile.raise")
     if isinstance(target, CompiledTarget):
         return target
     compiled = target._compiled_target

@@ -38,10 +38,13 @@ against many sources of one size — compile once.
 
 from __future__ import annotations
 
+import os
 from itertools import product
 from typing import TYPE_CHECKING, Hashable
 
-from repro.exceptions import DatalogError
+from repro import faultinject
+from repro.core.cancellation import current_token
+from repro.exceptions import DatalogError, ResourceBudgetError
 from repro.kernel.compile import compile_target
 from repro.structures.structure import Structure
 
@@ -49,11 +52,20 @@ if TYPE_CHECKING:  # pragma: no cover — annotation-only imports
     from repro.datalog.program import DatalogProgram, Rule
 
 __all__ = [
+    "MAX_TABLE_CELLS",
     "CompiledDatalog",
     "compile_datalog",
     "evaluate_datalog",
     "datalog_goal_holds",
 ]
+
+#: Refuse to build a binding-space mask family wider than this many
+#: cells (bits).  A rule with ``v`` distinct body variables evaluates
+#: over ``n^v`` codes; past ~2^28 the digit-mask ints alone reach
+#: hundreds of megabytes and a single AND stalls the worker for longer
+#: than any reasonable deadline.  The planner treats the resulting
+#: :class:`ResourceBudgetError` as "route this instance to search".
+MAX_TABLE_CELLS = int(os.environ.get("REPRO_MAX_TABLE_CELLS", 1 << 28))
 
 Element = Hashable
 Row = tuple[Element, ...]
@@ -154,6 +166,12 @@ class CompiledDatalog:
         self.full_masks: dict[int, int] = {}
         for width in sorted({r.num_digits for r in self.rules}):
             space = n**width
+            if space > MAX_TABLE_CELLS:
+                raise ResourceBudgetError(
+                    f"datalog binding space n^v = {n}^{width} exceeds "
+                    f"max_table_cells={MAX_TABLE_CELLS}; route this "
+                    "instance to search"
+                )
             full = (1 << space) - 1
             self.full_masks[width] = full
             per_digit = []
@@ -364,9 +382,14 @@ class _Evaluation:
         """Drive the fixpoint; optionally stop once the goal derives."""
         cp = self.cp
         goal = cp.program.goal
+        # Cooperative cancellation: a fixpoint round over a wide binding
+        # space can run long, so the deadline is tested once per round.
+        token = current_token()
         # Round 0: every rule in full (IDB relations start empty, so this
         # is the exact base of the legacy round 0).
         for ri, crule in enumerate(cp.rules):
+            if token is not None:
+                token.check()
             self._absorb(crule.head_name, self._fire_full(ri), self.delta)
         if stop_at_goal and self.facts[goal]:
             return
@@ -374,6 +397,8 @@ class _Evaluation:
             # Re-fire every rule in full each round; the lifted masks
             # still update incrementally (the fixpoint cannot tell).
             while any(self.delta.values()):
+                if token is not None:
+                    token.check()
                 self._push_deltas()
                 next_delta: dict[str, int] = {p: 0 for p in self.delta}
                 for ri, crule in enumerate(cp.rules):
@@ -385,6 +410,8 @@ class _Evaluation:
                     return
             return
         while any(self.delta.values()):
+            if token is not None:
+                token.check()
             updates = self._push_deltas()
             next_delta = {p: 0 for p in self.delta}
             for ri, ai, lifted_delta in updates:
@@ -442,6 +469,10 @@ def _seed(
         facts.setdefault(predicate, 0)
     for predicate in program.edb_predicates:
         facts.setdefault(predicate, 0)
+    if faultinject.fires("datalogk.budget"):
+        raise ResourceBudgetError(
+            "injected binding-space budget breach (datalogk.budget)"
+        )
     return compile_datalog(program, n), facts
 
 

@@ -39,9 +39,12 @@ joins.
 
 from __future__ import annotations
 
+import os
 from typing import Hashable
 
-from repro.exceptions import VocabularyError
+from repro import faultinject
+from repro.core.cancellation import CHECK_MASK, current_token
+from repro.exceptions import ResourceBudgetError, VocabularyError
 from repro.kernel.compile import (
     CompiledSource,
     CompiledTarget,
@@ -55,9 +58,17 @@ from repro.treewidth.decomposition import TreeDecomposition
 from repro.treewidth.heuristics import cached_decomposition
 from repro.treewidth.nice import make_nice
 
-__all__ = ["solve_decomposition", "decomposition_exists"]
+__all__ = ["MAX_TABLE_CELLS", "solve_decomposition", "decomposition_exists"]
 
 Element = Hashable
+
+#: Worst-case bag-table budget (codes per table, the Theorem 5.4 bound
+#: ``m^{w+1}``).  The DP refuses up front — with a typed
+#: :class:`ResourceBudgetError` the planner and the service's breaker
+#: can degrade on — rather than letting an adversarial (width, target)
+#: pair OOM a worker mid-solve.  Deliberately generous: real tables are
+#: the semijoin-reduced fraction of the bound.
+MAX_TABLE_CELLS = int(os.environ.get("REPRO_MAX_TABLE_CELLS", 1 << 28))
 
 #: Node-kind opcodes of a compiled program (list indexing beats string
 #: comparison on the per-node dispatch).
@@ -189,6 +200,8 @@ def solve_decomposition(
     source: Structure,
     target: Structure | CompiledTarget,
     decomposition: TreeDecomposition | None = None,
+    *,
+    max_table_cells: int | None = None,
 ) -> dict[Element, Element] | None:
     """Find a homomorphism ``source → target`` by the compiled bag-table DP.
 
@@ -197,6 +210,12 @@ def solve_decomposition(
     edge cases, same existence verdict on every instance (witnesses are
     valid homomorphisms but may differ element-wise).  ``decomposition``
     defaults to the memoized min-fill decomposition of the source.
+
+    Raises :class:`ResourceBudgetError` before building any table when
+    the Theorem 5.4 worst-case bag-table size ``m^{w+1}`` exceeds
+    ``max_table_cells`` (default :data:`MAX_TABLE_CELLS`), and
+    :class:`~repro.exceptions.SolveTimeoutError` from inside the DP when
+    an ambient cancellation deadline expires.
     """
     ctarget = compile_target(target)
     if source.vocabulary != ctarget.structure.vocabulary:
@@ -222,6 +241,14 @@ def solve_decomposition(
         return None
 
     m = len(ctarget.values)
+    budget = MAX_TABLE_CELLS if max_table_cells is None else max_table_cells
+    worst_table = m ** (program.width + 1)
+    if worst_table > budget or faultinject.fires("decomp.budget"):
+        raise ResourceBudgetError(
+            f"bag table bound m^(w+1) = {m}^{program.width + 1} exceeds "
+            f"max_table_cells={budget}; route this instance to search"
+        )
+    token = current_token()
     pow_m = [1]
     for _ in range(program.width + 2):
         pow_m.append(pow_m[-1] * m)
@@ -233,8 +260,11 @@ def solve_decomposition(
     tables: list[set[int] | None] = [None] * len(kinds)
     # Per forget node, one surviving child extension per projected row.
     forget_witness: list[dict[int, int] | None] = [None] * len(kinds)
+    rows_seen = 0  # cancellation granularity across introduce rows
 
     for index in program.order:
+        if token is not None:
+            token.check()
         kind = kinds[index]
         if kind == _LEAF:
             tables[index] = {0}
@@ -261,6 +291,10 @@ def solve_decomposition(
             table = set()
             table_add = table.add
             for code in child_table:
+                if token is not None:
+                    rows_seen += 1
+                    if not rows_seen & CHECK_MASK:
+                        token.check()
                 low = code % stride
                 base = low + (code - low) * m
                 key = 0

@@ -42,6 +42,7 @@ from __future__ import annotations
 from itertools import combinations
 from typing import Hashable
 
+from repro.core.cancellation import current_token
 from repro.exceptions import VocabularyError
 from repro.kernel.compile import (
     CompiledTarget,
@@ -191,7 +192,18 @@ def _solve_tables(
             worklist.append(did)
         return True
 
+    # Cooperative cancellation: the initial sweep and the worklist are
+    # the two unbounded phases; check every 64 domains / worklist pops
+    # (each step is itself a batch of big-int work, so the effective
+    # granularity matches the search kernel's node interval).
+    token = current_token()
+    ticks = 0
+
     for did in range(len(domains) - 1, -1, -1):
+        if token is not None:
+            ticks += 1
+            if not ticks & 63:
+                token.check()
         removed = 0
         for sup_id, p, residual in sups_of[did]:
             sup_live = live[sup_id]
@@ -209,6 +221,10 @@ def _solve_tables(
             return None
 
     while worklist:
+        if token is not None:
+            ticks += 1
+            if not ticks & 63:
+                token.check()
         did = worklist.pop()
         queued[did] = 0
         removed, pending[did] = pending[did], 0

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 from typing import Hashable, Iterator, Mapping, Sequence
 
+from repro.core.cancellation import CHECK_MASK, current_token
 from repro.kernel.compile import (
     CompiledSource,
     CompiledTarget,
@@ -231,6 +232,9 @@ def search_homomorphisms(
     )
     variables = csource.variables
     values = ctarget.values
+    # Cooperative cancellation: fetched once, tested every CHECK_INTERVAL
+    # nodes — a deadline frees this worker from inside the search.
+    token = current_token()
 
     def extend() -> Iterator[dict[Element, Element]]:
         if len(assign_order) == n:
@@ -245,6 +249,8 @@ def search_homomorphisms(
             v = low.bit_length() - 1
             mask ^= low
             stats.nodes += 1
+            if token is not None and not stats.nodes & CHECK_MASK:
+                token.check()
             assigned[x] = v
             assign_order.append(x)
             survived, trail_valid, trail_domains = _forward_check(
@@ -303,6 +309,7 @@ def count_solutions(
     static_order = (
         [var_index[element] for element in order] if order is not None else None
     )
+    token = current_token()
 
     def extend() -> int:
         nonlocal unassigned_count
@@ -316,6 +323,8 @@ def count_solutions(
             v = low.bit_length() - 1
             mask ^= low
             stats.nodes += 1
+            if token is not None and not stats.nodes & CHECK_MASK:
+                token.check()
             assigned[x] = v
             unassigned_count -= 1
             survived, trail_valid, trail_domains = _forward_check(

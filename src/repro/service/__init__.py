@@ -18,7 +18,13 @@ the :mod:`repro.core.pipeline`:
   per-shard-locked analysis caches shared by the worker threads;
 * :class:`ServiceStats` (:mod:`repro.service.stats`) — queue depth,
   coalesce hits, per-route latency histograms, aggregated per-solve
-  :class:`~repro.core.pipeline.SolveStats`.
+  :class:`~repro.core.pipeline.SolveStats`;
+* resilience (:mod:`repro.service.supervision`,
+  :mod:`repro.service.resilience`) — supervised worker respawn after
+  crashes, deadline propagation into the kernel loops, retry budgets,
+  and circuit breakers that degrade failing routes to semantically
+  equivalent fallbacks; chaos-tested against the deterministic fault
+  harness (:mod:`repro.faultinject`).
 
 Load characteristics are measured by
 ``benchmarks/bench_p03_service_load.py`` (results in
@@ -26,18 +32,27 @@ Load characteristics are measured by
 """
 
 from repro.exceptions import (
+    FaultInjectedError,
+    ResourceBudgetError,
     ServiceClosedError,
     ServiceError,
     ServiceOverloadedError,
     SolveTimeoutError,
+    WorkerCrashedError,
 )
 from repro.service.cache import ShardedStructureCache
+from repro.service.resilience import BreakerState, CircuitBreaker
 from repro.service.service import Priority, ServiceConfig, SolveService
 from repro.service.stats import LatencyHistogram, ServiceStats
+from repro.service.supervision import SupervisedProcessPool
 
 __all__ = [
+    "BreakerState",
+    "CircuitBreaker",
+    "FaultInjectedError",
     "LatencyHistogram",
     "Priority",
+    "ResourceBudgetError",
     "ServiceClosedError",
     "ServiceConfig",
     "ServiceError",
@@ -46,4 +61,6 @@ __all__ = [
     "ShardedStructureCache",
     "SolveService",
     "SolveTimeoutError",
+    "SupervisedProcessPool",
+    "WorkerCrashedError",
 ]

@@ -35,6 +35,16 @@ databases.  :class:`SolveService` is that serving layer:
 * **Observability** — :class:`~repro.service.stats.ServiceStats` at
   ``service.stats``: queue depth, coalesce hits, per-route latency
   histograms, folded per-solve :class:`~repro.core.pipeline.SolveStats`.
+* **Resilience** — worker processes run under a supervisor
+  (:mod:`repro.service.supervision`) that detects mid-flight crashes and
+  respawns the pool with backed-off restarts; each request carries a
+  deadline that propagates into the kernel hot loops
+  (:mod:`repro.core.cancellation`), so a timed-out solve stops consuming
+  its worker; transient failures retry within a per-request budget; and
+  per-route circuit breakers (:mod:`repro.service.resilience`) degrade a
+  repeatedly failing route to its semantically equivalent fallback —
+  process → thread, compiled kernel → legacy engine, canonical Datalog →
+  planner search — so answers stay exact under faults.
 
 Typical use::
 
@@ -53,8 +63,7 @@ import heapq
 import itertools
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from enum import IntEnum
 from typing import TYPE_CHECKING, Awaitable, Iterable
@@ -62,6 +71,8 @@ from typing import TYPE_CHECKING, Awaitable, Iterable
 if TYPE_CHECKING:  # pragma: no cover — annotation-only import
     from repro.cq.query import ConjunctiveQuery
 
+from repro import faultinject
+from repro.core.cancellation import CancellationToken, Deadline, cancel_scope
 from repro.core.pipeline import (
     DEFAULT_WIDTH_THRESHOLD,
     Solution,
@@ -77,9 +88,12 @@ from repro.exceptions import (
 )
 from repro.kernel.estimate import estimate_cost, plan_instance
 from repro.service.cache import ShardedStructureCache
+from repro.service.resilience import CircuitBreaker, FailureKind, classify
 from repro.service.stats import ServiceStats
-from repro.service.workers import process_solve, worker_initializer, worker_pid
+from repro.service.supervision import SupervisedProcessPool
+from repro.service.workers import process_solve
 from repro.structures.fingerprint import instance_fingerprint
+from repro.structures.homomorphism import find_homomorphism
 from repro.structures.structure import Structure
 
 __all__ = ["Priority", "ServiceConfig", "SolveService"]
@@ -115,6 +129,16 @@ class ServiceConfig:
     the pipeline's width-aware planner strategy pick the solving engine
     per request (and consider the pebble route), with the decision
     visible in each ``Solution.stats.plan``.
+
+    The resilience knobs: ``retry_budget`` is the number of *additional*
+    attempts a request gets after a transient failure (worker crash,
+    injected fault, budget degradation), always within the request's
+    remaining deadline.  ``breaker_threshold`` consecutive failures of a
+    degradable route (process backend, kernel compile, canonical
+    Datalog) open that route's circuit breaker; after
+    ``breaker_cooldown`` seconds one probe request tests the route
+    again.  ``worker_restart_backoff`` is the base of the supervisor's
+    exponential respawn backoff after a worker-process crash.
     """
 
     thread_workers: int = 4
@@ -127,6 +151,10 @@ class ServiceConfig:
     width_threshold: int = DEFAULT_WIDTH_THRESHOLD
     try_pebble_refutation: int | None = None
     plan: bool = False
+    retry_budget: int = 2
+    breaker_threshold: int = 5
+    breaker_cooldown: float = 1.0
+    worker_restart_backoff: float = 0.05
 
 
 @dataclass
@@ -140,6 +168,10 @@ class _Request:
     options: dict
     priority: int
     future: asyncio.Future
+    #: The shared cancellation token: carries the loosest deadline across
+    #: every coalesced waiter (a patient late-attacher *extends* it) and
+    #: is checked cooperatively inside the kernel hot loops.
+    token: CancellationToken
     #: Latency-bucket override ("containment" for query–query traffic);
     #: ``None`` buckets by the solving strategy's route.
     route: str | None = None
@@ -187,9 +219,24 @@ class SolveService:
         #: The thread backend's pipeline, sharing the sharded cache.
         self.pipeline = SolverPipeline(cache=self.cache)
         self.stats = ServiceStats()
+        #: One circuit breaker per degradable route.  While a breaker is
+        #: open the route is served by its semantically equivalent
+        #: fallback: "process" → the thread backend, "kernel" → the
+        #: legacy engine, "datalog" → the planner's search route.
+        self.breakers: dict[str, CircuitBreaker] = {
+            name: CircuitBreaker(
+                name,
+                threshold=self._config.breaker_threshold,
+                cooldown=self._config.breaker_cooldown,
+                on_transition=lambda n, s: (
+                    self.stats.note_breaker_transition(n, s.value)
+                ),
+            )
+            for name in ("process", "kernel", "datalog")
+        }
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread_pool: ThreadPoolExecutor | None = None
-        self._process_pool: ProcessPoolExecutor | None = None
+        self._supervisor: SupervisedProcessPool | None = None
         self._heap: list[tuple[int, int, _Request]] = []
         #: Admitted-but-undispatched requests; len(self._heap) would
         #: over-count by the stale entries priority bumps leave behind.
@@ -226,38 +273,28 @@ class SolveService:
             else (os.cpu_count() or 1)
         )
         if workers > 0:
-            # Spawn the worker processes *now*, before the service has
-            # started any thread: forking a multi-threaded process can
-            # inherit locks mid-acquire.  If the platform refuses —
-            # fork/spawn denied (OSError) or workers dying during
-            # startup (BrokenProcessPool) — run thread-only rather than
-            # failing the whole service.
-            pool = None
-            try:
-                pool = ProcessPoolExecutor(
-                    max_workers=workers,
-                    initializer=worker_initializer,
-                    initargs=(config.cache_maxsize,),
-                )
-                await asyncio.gather(
-                    *[
-                        self._loop.run_in_executor(pool, worker_pid)
-                        for _ in range(workers)
-                    ]
-                )
-            except (OSError, BrokenProcessPool):
-                if pool is not None:
-                    pool.shutdown(wait=False, cancel_futures=True)
-                pool = None
-            self._process_pool = pool
+            # The supervisor spawns the worker processes *now*, before
+            # the service has started any thread (forking a
+            # multi-threaded process can inherit locks mid-acquire) and
+            # keeps respawning them after crashes.  If the platform
+            # refuses, run thread-only rather than failing the service.
+            supervisor = SupervisedProcessPool(
+                workers,
+                config.cache_maxsize,
+                restart_backoff=config.worker_restart_backoff,
+                on_restart=self._note_worker_restart,
+            )
+            self._supervisor = (
+                supervisor if await supervisor.start(self._loop) else None
+            )
         else:
-            self._process_pool = None
+            self._supervisor = None
         self._thread_pool = ThreadPoolExecutor(
             max_workers=config.thread_workers,
             thread_name_prefix="repro-solve",
         )
         concurrency = config.thread_workers + (
-            workers if self._process_pool is not None else 0
+            workers if self._supervisor is not None else 0
         )
         self._slots = asyncio.Semaphore(concurrency)
         self._work_available = asyncio.Event()
@@ -269,9 +306,14 @@ class SolveService:
     async def stop(self, *, drain: bool = True) -> None:
         """Stop the service; with ``drain`` (default) finish open work.
 
-        Without ``drain``, queued-but-undispatched requests fail with
-        :class:`ServiceClosedError`; already-running solves are awaited
-        either way (threads cannot be interrupted safely).
+        Without ``drain``, queued-but-undispatched requests — and with
+        them every coalesced follower sharing their futures — fail
+        *deterministically* with :class:`ServiceClosedError` (never a
+        bare ``CancelledError``), and their fingerprint entries leave
+        the coalescing table immediately so nothing can attach to a
+        dead computation.  Already-running solves are awaited either
+        way (threads cannot be interrupted safely), and their waiters
+        still receive the result.
         """
         if not self._running:
             return
@@ -284,6 +326,21 @@ class SolveService:
                     continue
                 request.dispatched = True
                 self._inflight.pop(request.key, None)
+                self._open_requests -= 1
+                self._queued -= 1
+                if not request.future.done():
+                    request.future.set_exception(
+                        ServiceClosedError("service stopped before dispatch")
+                    )
+            # Belt and braces: every undispatched request holds a live
+            # heap entry, but sweep the coalescing table too so a bug in
+            # that invariant degrades to a deterministic error rather
+            # than a follower hung on a future nobody will resolve.
+            for request in list(self._inflight.values()):
+                if request.dispatched:
+                    continue
+                request.dispatched = True
+                del self._inflight[request.key]
                 self._open_requests -= 1
                 self._queued -= 1
                 if not request.future.done():
@@ -309,9 +366,9 @@ class SolveService:
         if self._thread_pool is not None:
             self._thread_pool.shutdown(wait=True)
             self._thread_pool = None
-        if self._process_pool is not None:
-            self._process_pool.shutdown(wait=True)
-            self._process_pool = None
+        if self._supervisor is not None:
+            await self._supervisor.shutdown(wait=True)
+            self._supervisor = None
 
     async def __aenter__(self) -> "SolveService":
         return await self.start()
@@ -553,6 +610,17 @@ class SolveService:
         existing = self._inflight.get(key)
         if existing is not None:
             self.stats.coalesce_hits += 1
+            # The shared computation must run as long as its most patient
+            # waiter needs: an unbounded attacher lifts the deadline
+            # entirely, a bounded one extends it (later wins).  The token
+            # reads its deadline on every check, so this reaches a solve
+            # already running on the thread backend; a process-backend
+            # solve keeps its dispatched budget, and the service retries
+            # it with the new budget if it times out.
+            if timeout is None:
+                existing.token.deadline = None
+            elif existing.token.deadline is not None:
+                existing.token.deadline.extend_to(Deadline.after(timeout))
             if (
                 not existing.dispatched
                 and int(priority) < existing.priority
@@ -579,6 +647,9 @@ class SolveService:
             options=options,
             priority=int(priority),
             future=self._loop.create_future(),
+            token=CancellationToken(
+                Deadline.after(timeout) if timeout is not None else None
+            ),
             route=route,
         )
         request.future.add_done_callback(_consume_exception)
@@ -597,15 +668,29 @@ class SolveService:
         """One waiter's view of a (possibly shared) computation.
 
         The shield keeps a waiter's timeout from cancelling the
-        computation out from under coalesced duplicates.
+        computation out from under coalesced duplicates.  Every way a
+        waiter can lose is a *typed* error: a waiter-side timeout and a
+        computation-side cooperative cancellation both surface as
+        :class:`SolveTimeoutError` (and count in ``stats.timeouts``); a
+        future torn down by service shutdown surfaces as
+        :class:`ServiceClosedError`, never a bare ``CancelledError``.
         """
         try:
             return await asyncio.wait_for(asyncio.shield(future), timeout)
+        except SolveTimeoutError:
+            self.stats.timeouts += 1
+            raise
         except asyncio.TimeoutError:
             self.stats.timeouts += 1
             raise SolveTimeoutError(
                 f"solve did not finish within {timeout}s"
             ) from None
+        except asyncio.CancelledError:
+            if future.cancelled():
+                raise ServiceClosedError(
+                    "service closed while the solve was in flight"
+                ) from None
+            raise
 
     # -- dispatch and execution ----------------------------------------------
 
@@ -635,8 +720,11 @@ class SolveService:
                 self._tasks.add(task)
                 task.add_done_callback(self._tasks.discard)
 
+    def _note_worker_restart(self) -> None:
+        self.stats.worker_restarts += 1
+
     def _plan_and_maybe_solve(
-        self, request: _Request
+        self, request: _Request, options: dict, allow_process: bool
     ) -> tuple[str, float, Solution | None]:
         """Runs on a worker thread: plan, and solve if cheap.
 
@@ -649,58 +737,195 @@ class SolveService:
         when the pipeline will actually follow the plan
         (``config.plan``); otherwise the prediction sticks to the
         search/DP routes the fixed registry can take.
+
+        Runs under the request's cancellation scope, so an
+        already-expired deadline fails fast and a thread-backend solve
+        is abandoned cooperatively once the deadline passes.
         """
-        options = request.options
-        ctarget = self.cache.compiled_target(request.target)
-        threshold = self._config.process_cost_threshold
-        cost = estimate_cost(request.source, request.target, ctarget=ctarget)
-        if options["plan"] or (
-            self._process_pool is not None and cost >= threshold
-        ):
-            # The width estimate (a greedy decomposition) is only worth
-            # computing when it can change something: the pipeline will
-            # follow the plan, or the raw search estimate would ship the
-            # request to a process and a cheap DP route could keep it
-            # here.  Below-threshold requests with planning off skip it —
-            # they are thread-solved either way, and the fixed registry's
-            # treewidth route decomposes through the pipeline cache.
-            cost = plan_instance(
+        with cancel_scope(request.token):
+            request.token.check()
+            ctarget = self.cache.compiled_target(request.target)
+            threshold = self._config.process_cost_threshold
+            cost = estimate_cost(
+                request.source, request.target, ctarget=ctarget
+            )
+            if options["plan"] or (allow_process and cost >= threshold):
+                # The width estimate (a greedy decomposition) is only
+                # worth computing when it can change something: the
+                # pipeline will follow the plan, or the raw search
+                # estimate would ship the request to a process and a
+                # cheap DP route could keep it here.  Below-threshold
+                # requests with planning off skip it — they are
+                # thread-solved either way, and the fixed registry's
+                # treewidth route decomposes through the pipeline cache.
+                cost = plan_instance(
+                    request.source,
+                    request.target,
+                    ctarget=ctarget,
+                    width_threshold=options["width_threshold"],
+                    pebble_k=options["try_pebble_refutation"],
+                    allow_pebble=options["plan"],
+                    datalog_k=options["try_canonical_datalog"],
+                ).predicted_cost
+            if allow_process and cost >= threshold:
+                return "process", cost, None
+            solution = self.pipeline.solve(
+                request.source, request.target, **options
+            )
+            return "thread", cost, solution
+
+    def _thread_solve(self, request: _Request, options: dict) -> Solution:
+        """Runs on a worker thread: the process-degraded fallback solve."""
+        with cancel_scope(request.token):
+            return self.pipeline.solve(
+                request.source, request.target, **options
+            )
+
+    def _legacy_solve(self, request: _Request) -> Solution:
+        """Runs on a worker thread: the kernel-breaker fallback.
+
+        The legacy reference engine decides the same instance without
+        touching the compiled-kernel plane at all (no ``compile_target``,
+        no bitsets), so it keeps answering — exactly, just slower — while
+        the kernel breaker is open.
+        """
+        with cancel_scope(request.token):
+            assignment = find_homomorphism(
+                request.source, request.target, engine="legacy"
+            )
+        return Solution(assignment, "legacy-engine(kernel-breaker)")
+
+    def _deadline_remaining(self, request: _Request) -> float | None:
+        deadline = request.token.deadline
+        return None if deadline is None else deadline.remaining()
+
+    async def _attempt(
+        self, request: _Request, options: dict
+    ) -> tuple[Solution, str]:
+        """One resilient attempt: plan on a thread, maybe hop to a process."""
+        assert self._loop is not None and self._thread_pool is not None
+        allow_process = (
+            self._supervisor is not None and self._supervisor.available
+        )
+        backend, _cost, solution = await self._loop.run_in_executor(
+            self._thread_pool,
+            self._plan_and_maybe_solve,
+            request,
+            options,
+            allow_process,
+        )
+        if solution is not None:
+            return solution, backend
+        # The plan chose the process backend.  The breaker is consulted
+        # only now — a request that never needed a process must not
+        # consume its half-open probe slot.
+        assert self._supervisor is not None
+        if self.breakers["process"].allow():
+            remaining = self._deadline_remaining(request)
+            if remaining is not None and remaining <= 0:
+                raise SolveTimeoutError(
+                    "deadline expired before process dispatch"
+                )
+            solution = await self._supervisor.run(
+                self._loop,
+                process_solve,
                 request.source,
                 request.target,
-                ctarget=ctarget,
-                width_threshold=options["width_threshold"],
-                pebble_k=options["try_pebble_refutation"],
-                allow_pebble=options["plan"],
-                datalog_k=options["try_canonical_datalog"],
-            ).predicted_cost
-        if self._process_pool is not None and cost >= threshold:
-            return "process", cost, None
-        solution = self.pipeline.solve(
-            request.source, request.target, **options
+                options,
+                remaining,
+            )
+            self.breakers["process"].record_success()
+            return solution, "process"
+        # Breaker open: same question, answered on the thread backend.
+        self.stats.note_degraded("process")
+        solution = await self._loop.run_in_executor(
+            self._thread_pool, self._thread_solve, request, options
         )
-        return "thread", cost, solution
+        return solution, "thread"
+
+    async def _solve_resilient(self, request: _Request) -> tuple[Solution, str]:
+        """Drive attempts until success, permanent failure, or budgets end.
+
+        The retry policy in one place: transient failures (worker crash,
+        injected fault) retry as-is; a budget breach retries with the
+        canonical-Datalog ask stripped (the planner then routes to
+        search — semantically identical); a cooperative timeout retries
+        only if the deadline was extended by a more patient coalesced
+        waiter; anything else is permanent.  Every retry is bounded by
+        ``retry_budget`` and by the request's remaining deadline.
+        """
+        breakers = self.breakers
+        options = request.options
+        attempts = max(1, self._config.retry_budget + 1)
+        for attempt in range(attempts):
+            if attempt:
+                self.stats.retries += 1
+            attempt_options = options
+            if (
+                options.get("try_canonical_datalog") is not None
+                and not breakers["datalog"].allow()
+            ):
+                attempt_options = dict(options, try_canonical_datalog=None)
+                self.stats.note_degraded("datalog")
+            use_legacy = not breakers["kernel"].allow()
+            if use_legacy:
+                self.stats.note_degraded("kernel")
+            try:
+                if use_legacy:
+                    assert self._loop and self._thread_pool
+                    solution = await self._loop.run_in_executor(
+                        self._thread_pool, self._legacy_solve, request
+                    )
+                    backend = "thread"
+                else:
+                    solution, backend = await self._attempt(
+                        request, attempt_options
+                    )
+            except Exception as exc:  # noqa: BLE001 — classified below
+                kind, breaker_name = classify(exc)
+                if breaker_name is not None:
+                    breakers[breaker_name].record_failure()
+                if kind is FailureKind.PERMANENT:
+                    raise
+                if kind is FailureKind.DEGRADE_DATALOG:
+                    if options.get("try_canonical_datalog") is None:
+                        # A budget breach outside the degradable route
+                        # would reproduce identically: final.
+                        raise
+                    options = dict(options, try_canonical_datalog=None)
+                if attempt + 1 >= attempts or request.token.expired():
+                    raise
+                continue
+            if not use_legacy:
+                breakers["kernel"].record_success()
+            if attempt_options.get("try_canonical_datalog") is not None:
+                breakers["datalog"].record_success()
+            if attempt:
+                self.stats.requests_rescued += 1
+            return solution, backend
+        raise AssertionError("unreachable: the loop returns or raises")
 
     async def _execute(self, request: _Request) -> None:
         assert self._loop is not None and self._thread_pool is not None
         try:
-            backend, _cost, solution = await self._loop.run_in_executor(
-                self._thread_pool, self._plan_and_maybe_solve, request
-            )
-            if solution is None:
-                assert self._process_pool is not None
-                solution = await self._loop.run_in_executor(
-                    self._process_pool,
-                    process_solve,
-                    request.source,
-                    request.target,
-                    request.options,
-                )
+            delay = faultinject.delay_seconds("service.dispatch.delay")
+            if delay > 0.0:
+                await asyncio.sleep(delay)
+            solution, backend = await self._solve_resilient(request)
             latency_ms = (time.perf_counter() - request.enqueued_at) * 1000
             self.stats.note_completed(
                 solution, latency_ms, backend, route=request.route
             )
             if not request.future.done():
                 request.future.set_result(solution)
+        except SolveTimeoutError as exc:
+            # The computation itself was cancelled cooperatively — the
+            # deadline expired inside a kernel loop.  Not a failure of
+            # the instance: the waiters see a timeout, and nothing about
+            # it outlives the in-flight window.
+            self.stats.cancelled_solves += 1
+            if not request.future.done():
+                request.future.set_exception(exc)
         except Exception as exc:  # noqa: BLE001 — forwarded to the waiters
             self.stats.failed += 1
             if not request.future.done():

@@ -102,6 +102,30 @@ class ServiceStats:
     failed: int = 0
     rejected: int = 0
     timeouts: int = 0
+    #: Computations cancelled cooperatively from *inside* the kernel —
+    #: the request's deadline expired (or the service was stopped) and
+    #: the solve unwound instead of finishing.  Disjoint from ``failed``
+    #: (a timeout is not an error of the instance) and from ``timeouts``
+    #: (which counts *waiters* that gave up; their computation may well
+    #: have completed for someone else).
+    cancelled_solves: int = 0
+    #: Attempts re-run after a transient failure (worker crash, injected
+    #: fault, budget degradation, extended deadline).
+    retries: int = 0
+    #: Requests that ultimately *succeeded* on a retry attempt — traffic
+    #: the resilience layer rescued rather than failed.
+    requests_rescued: int = 0
+    #: Process-pool rebuilds performed by the supervisor after a crash.
+    worker_restarts: int = 0
+    #: Requests served by a degraded route while a breaker was open,
+    #: keyed by breaker name ("process" → thread backend, "kernel" →
+    #: legacy engine, "datalog" → planner search).
+    degraded: dict[str, int] = field(default_factory=dict)
+    #: Circuit-breaker transition counts keyed ``"name:state"`` (e.g.
+    #: ``"process:open"``), plus each breaker's current state below.
+    breaker_transitions: dict[str, int] = field(default_factory=dict)
+    #: Current breaker states, keyed by breaker name.
+    breaker_states: dict[str, str] = field(default_factory=dict)
     coalesce_hits: int = 0
     #: Query–query requests admitted via ``submit_containment`` (a subset
     #: of ``submitted``; their latencies land in the "containment" route
@@ -131,6 +155,14 @@ class ServiceStats:
         self.queue_depth = depth
         if depth > self.max_queue_depth:
             self.max_queue_depth = depth
+
+    def note_degraded(self, breaker: str) -> None:
+        self.degraded[breaker] = self.degraded.get(breaker, 0) + 1
+
+    def note_breaker_transition(self, breaker: str, state: str) -> None:
+        key = f"{breaker}:{state}"
+        self.breaker_transitions[key] = self.breaker_transitions.get(key, 0) + 1
+        self.breaker_states[breaker] = state
 
     def note_completed(
         self,
@@ -169,6 +201,15 @@ class ServiceStats:
             "failed": self.failed,
             "rejected": self.rejected,
             "timeouts": self.timeouts,
+            "cancelled_solves": self.cancelled_solves,
+            "retries": self.retries,
+            "requests_rescued": self.requests_rescued,
+            "worker_restarts": self.worker_restarts,
+            "degraded": dict(sorted(self.degraded.items())),
+            "breaker_transitions": dict(
+                sorted(self.breaker_transitions.items())
+            ),
+            "breaker_states": dict(sorted(self.breaker_states.items())),
             "coalesce_hits": self.coalesce_hits,
             "containment_requests": self.containment_requests,
             "datalog_requests": self.datalog_requests,

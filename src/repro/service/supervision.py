@@ -1,0 +1,198 @@
+"""Supervision of the process-pool backend: detect, respawn, backoff.
+
+``ProcessPoolExecutor`` has an unforgiving failure model: one worker
+dying (segfault, OOM kill, ``os._exit``) breaks the *entire* pool —
+every in-flight future raises :class:`BrokenProcessPool` and every later
+submit is refused.  The stock service treated that as startup-only;
+:class:`SupervisedProcessPool` makes it a runtime event the service
+survives:
+
+* :meth:`run` wraps a pool submit.  A broken pool (or the equivalent
+  ``RuntimeError`` from racing a shutdown pool) is translated to the
+  typed :class:`~repro.exceptions.WorkerCrashedError`, so the service's
+  retry layer can tell "the worker died under this request" from "the
+  request itself is bad".
+* The first caller to observe a break triggers a **single-flight
+  respawn** (an ``asyncio.Lock`` — concurrent victims of the same break
+  wait for the one rebuild rather than racing their own).  Respawn waits
+  out an **exponential backoff with seeded jitter** (``base · 2^(streak-1)``,
+  capped, ±50% jitter) so a crash-looping workload cannot hot-spin pool
+  construction.
+* Each rebuilt pool gets a new **generation** number; a crash report
+  carries the generation it observed, so a straggler reporting an
+  already-replaced pool's death cannot kill the fresh one.
+* A successful solve resets the crash streak, so the backoff prices
+  consecutive failures, not lifetime totals.
+
+If rebuilding itself fails (the platform refuses to fork/spawn, or
+workers die during their health check), the pool marks itself
+unavailable and the service degrades to its thread backend — the same
+semantics, minus the GIL escape.
+
+All coordination state is touched only from the event-loop thread; the
+pool's futures are awaited through ``loop.run_in_executor`` as before.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable
+
+from repro.exceptions import WorkerCrashedError
+from repro.service.workers import worker_initializer, worker_pid
+
+__all__ = ["SupervisedProcessPool"]
+
+
+class SupervisedProcessPool:
+    """A self-healing wrapper around one ``ProcessPoolExecutor``."""
+
+    def __init__(
+        self,
+        workers: int,
+        cache_maxsize: int,
+        *,
+        restart_backoff: float = 0.05,
+        backoff_cap: float = 2.0,
+        jitter_seed: int | None = None,
+        on_restart: Callable[[], None] | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("a supervised pool needs at least one worker")
+        self.workers = workers
+        self.cache_maxsize = cache_maxsize
+        self.restart_backoff = restart_backoff
+        self.backoff_cap = backoff_cap
+        self.on_restart = on_restart
+        self._jitter = random.Random(jitter_seed)
+        self._pool: ProcessPoolExecutor | None = None
+        #: Bumped on every (re)build; crash reports are generation-tagged.
+        self.generation = 0
+        #: Consecutive crashes since the last healthy solve.
+        self._crash_streak = 0
+        #: Lifetime pool rebuilds after a crash (observability).
+        self.restarts = 0
+        self._respawn_lock = asyncio.Lock()
+        #: ``False`` once (re)spawning failed: the platform cannot run a
+        #: process pool right now, degrade to threads for good.
+        self._available = True
+
+    @property
+    def available(self) -> bool:
+        """Is the process backend worth routing to?"""
+        return self._available
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self, loop: asyncio.AbstractEventLoop) -> bool:
+        """Build the initial pool; ``False`` if the platform refuses."""
+        self._available = await self._build(loop)
+        return self._available
+
+    async def _build(self, loop: asyncio.AbstractEventLoop) -> bool:
+        """Spawn a pool and health-check every worker (a ``worker_pid``
+        round trip forces the spawn *now*, before service threads exist —
+        forking a multi-threaded process can inherit locks mid-acquire)."""
+        pool = None
+        try:
+            pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=worker_initializer,
+                initargs=(self.cache_maxsize,),
+            )
+            await asyncio.gather(
+                *[
+                    loop.run_in_executor(pool, worker_pid)
+                    for _ in range(self.workers)
+                ]
+            )
+        except (OSError, BrokenProcessPool):
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+            return False
+        self._pool = pool
+        self.generation += 1
+        return True
+
+    async def shutdown(self, *, wait: bool = True) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=wait, cancel_futures=not wait)
+            self._pool = None
+        self._available = False
+
+    # -- the supervised submit -----------------------------------------------
+
+    async def run(self, loop: asyncio.AbstractEventLoop, fn, /, *args):
+        """Run ``fn(*args)`` on a pool worker; typed error on a crash.
+
+        A break retires the pool and raises :class:`WorkerCrashedError`
+        immediately (every sibling future on that pool is failing
+        anyway); the *next* call — typically the service's retry —
+        performs the backed-off respawn.
+        """
+        if not self._available:
+            raise WorkerCrashedError("process backend is unavailable")
+        pool = self._pool
+        generation = self.generation
+        if pool is None:
+            pool, generation = await self._respawn(loop)
+        try:
+            result = await loop.run_in_executor(pool, fn, *args)
+        except BrokenProcessPool as exc:
+            self._note_broken(generation)
+            raise WorkerCrashedError(
+                f"worker process died mid-solve (pool generation {generation})"
+            ) from exc
+        except RuntimeError as exc:
+            # Racing a concurrent respawn: the old executor refuses new
+            # futures after its shutdown began.  Same remedy as broken.
+            if "shutdown" not in str(exc):
+                raise
+            self._note_broken(generation)
+            raise WorkerCrashedError(
+                f"worker pool was shut down under this solve "
+                f"(pool generation {generation})"
+            ) from exc
+        self._crash_streak = 0
+        return result
+
+    def _note_broken(self, generation: int) -> None:
+        """Retire the broken pool (only if ``generation`` is current)."""
+        if generation != self.generation or self._pool is None:
+            return  # a fresher pool already replaced the one we saw die
+        broken = self._pool
+        self._pool = None
+        self._crash_streak += 1
+        broken.shutdown(wait=False, cancel_futures=True)
+
+    async def _respawn(
+        self, loop: asyncio.AbstractEventLoop
+    ) -> tuple[ProcessPoolExecutor, int]:
+        """Single-flight rebuild with exponential backoff + jitter."""
+        async with self._respawn_lock:
+            if self._pool is not None:
+                # Another victim of the same break already rebuilt.
+                return self._pool, self.generation
+            if not self._available:
+                raise WorkerCrashedError("process backend is unavailable")
+            streak = max(1, self._crash_streak)
+            delay = min(
+                self.restart_backoff * (2 ** (streak - 1)), self.backoff_cap
+            )
+            delay *= 0.5 + self._jitter.random()  # ±50% jitter
+            if delay > 0:
+                await asyncio.sleep(delay)
+            if not await self._build(loop):
+                self._available = False
+                raise WorkerCrashedError(
+                    "process pool could not be respawned; "
+                    "degrading to the thread backend"
+                )
+            self.restarts += 1
+            if self.on_restart is not None:
+                self.on_restart()
+            return self._pool, self.generation

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 import os
 
+from repro import faultinject
+from repro.core.cancellation import Deadline
 from repro.core.pipeline import Solution, SolverPipeline, StructureCache
 from repro.structures.structure import Structure
 
@@ -38,6 +40,10 @@ def worker_initializer(
     global _pipeline, _cache_maxsize
     _cache_maxsize = cache_maxsize
     _pipeline = SolverPipeline(cache=StructureCache(cache_maxsize))
+    # The chaos harness exports its plan through the environment so
+    # worker-side faults (kills mid-solve) fire inside this process —
+    # including in pools the supervisor respawns after a kill.
+    faultinject.install_from_env()
 
 
 def _get_pipeline() -> SolverPipeline:
@@ -48,15 +54,31 @@ def _get_pipeline() -> SolverPipeline:
 
 
 def process_solve(
-    source: Structure, target: Structure, options: dict
+    source: Structure,
+    target: Structure,
+    options: dict,
+    deadline_remaining: float | None = None,
 ) -> Solution:
     """Solve one instance on this worker's pipeline.
 
     ``options`` carries the pipeline solve keywords
     (``width_threshold`` / ``try_pebble_refutation``) as a plain dict so
     the call pickles without dragging service types into the worker.
+    ``deadline_remaining`` is the request's budget in seconds at dispatch
+    time — re-anchored to this process's clock, so the kernel loops can
+    abandon the solve cooperatively.  (A deadline *extended* after
+    dispatch — a patient coalesced waiter attaching — does not reach a
+    running worker; the service retries the solve with the new budget
+    when this one times out.)
     """
-    return _get_pipeline().solve(source, target, **options)
+    faultinject.kill_process("worker.kill.before")
+    faultinject.kill_process("worker.kill.during", delay_range=(0.005, 0.05))
+    deadline = (
+        Deadline.after(deadline_remaining)
+        if deadline_remaining is not None
+        else None
+    )
+    return _get_pipeline().solve(source, target, deadline=deadline, **options)
 
 
 def worker_pid() -> int:

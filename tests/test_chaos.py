@@ -1,0 +1,511 @@
+"""Deterministic chaos suite for the resilient solve service.
+
+Every test here drives the real service against the seeded
+fault-injection harness (:mod:`repro.faultinject`) and asserts the
+*termination invariant*: every admitted request terminates with either a
+parity-correct :class:`Solution` or a typed
+:class:`~repro.exceptions.ReproError` — never a hang, a lost future, a
+bare ``CancelledError``, or a stale coalescing entry — and the service
+keeps serving fresh traffic after the storm.
+
+The storm tests replay the exact same fault schedule per seed (which
+*request* a fault lands on still depends on scheduling, hence
+invariant-style assertions); the degradation tests pin the individual
+breaker paths with probability-1.0 faults, which are fully
+deterministic.  ``REPRO_CHAOS_SEED`` opts one extra randomized storm in
+(the CI chaos-smoke job passes a fresh seed and echoes it, so any
+failure is replayable).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import random
+import time
+
+import pytest
+
+from repro import faultinject
+from repro.exceptions import (
+    FaultInjectedError,
+    ReproError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+    SolveTimeoutError,
+)
+from repro.csp.generators import random_schaefer_target, random_structure
+from repro.faultinject import FaultPlan
+from repro.service import Priority, ServiceConfig, SolveService
+from repro.structures.graphs import clique, random_graph
+from repro.structures.homomorphism import is_homomorphism
+from repro.structures.vocabulary import Vocabulary
+
+BINARY = Vocabulary.from_arities({"R": 2})
+
+#: The three replayed storm seeds of the CI chaos-smoke job.
+FIXED_SEEDS = (101, 202, 303)
+
+#: Hard cap per storm: converts a termination-invariant violation (a
+#: hung future) into a test failure instead of a hung CI job.
+STORM_TIMEOUT = 120.0
+
+
+def cheap_instance(seed: int = 0):
+    return (
+        random_structure(BINARY, 6, 10, seed=seed),
+        random_schaefer_target(BINARY, 3, "horn", seed=seed + 1),
+    )
+
+
+def heavy_instance(seed: int = 0):
+    return clique(4), random_graph(12, 0.5, seed=seed)
+
+
+def slow_instance():
+    """Unsatisfiable clique refutation taking a few hundred ms."""
+    return clique(7), random_graph(26, 0.55, seed=2)
+
+
+def _corpus():
+    """A 20-instance mix covering every service route.
+
+    Cheap Schaefer instances (thread backend, DP/search routes), small
+    clique searches (backtracking), and dense-graph colorings the
+    planner sends through the canonical-Datalog plane — so a storm
+    exercises the kernel, decomp, and datalog fault points alike.
+    """
+    instances = [cheap_instance(seed) for seed in range(12)]
+    instances += [heavy_instance(seed) for seed in range(4)]
+    instances += [
+        (clique(5), clique(3)),
+        (clique(6), clique(3)),
+        (random_graph(10, 0.8, seed=0), clique(3)),
+        (random_graph(10, 0.8, seed=1), clique(3)),
+    ]
+    return instances
+
+
+def _expected(corpus):
+    """Ground truth, computed fault-free before any plan is installed."""
+    assert faultinject.current() is None
+    pipeline = SolveService(ServiceConfig()).pipeline
+    return [pipeline.solve(source, target).exists for source, target in corpus]
+
+
+def _check_invariant(indexed_results, corpus, expected):
+    """Every result is a parity-correct Solution or a typed ReproError."""
+    for index, result in indexed_results:
+        source, target = corpus[index]
+        if isinstance(result, BaseException):
+            assert isinstance(result, ReproError), (
+                f"request {index} escaped with an untyped "
+                f"{type(result).__name__}: {result!r}"
+            )
+        else:
+            assert result.exists == expected[index], (
+                f"request {index} lost parity under faults: "
+                f"{result.strategy}"
+            )
+            if result.homomorphism is not None:
+                assert is_homomorphism(result.homomorphism, source, target)
+
+
+def _run_thread_storm(seed: int) -> None:
+    """60 requests against the thread backend under mixed faults."""
+    corpus = _corpus()
+    expected = _expected(corpus)
+    plan = FaultPlan(
+        seed,
+        {
+            "kernel.compile.raise": 0.10,
+            "service.dispatch.delay": 0.25,
+            "datalogk.budget": 0.35,
+            "decomp.budget": 0.15,
+        },
+        delay_ms=(0.5, 3.0),
+    )
+    config = ServiceConfig(
+        thread_workers=2,
+        process_workers=0,
+        retry_budget=2,
+        breaker_threshold=3,
+        breaker_cooldown=0.05,
+    )
+
+    async def scenario():
+        async with SolveService(config) as service:
+            rng = random.Random(seed)
+            indexed = []
+            waiters = []
+            for _ in range(3):
+                for index, (source, target) in enumerate(corpus):
+                    timeout = rng.choice([None, None, None, 2.0, 0.05])
+                    # The dense tail of the corpus routes through the
+                    # canonical-Datalog plane; ask for it so the storm
+                    # reaches the datalogk.budget fault point.
+                    if index % 4 == 0 or index >= 16:
+                        waiter = service.submit_datalog(
+                            source, target, k=2, timeout=timeout
+                        )
+                    else:
+                        waiter = service.submit(
+                            source, target, timeout=timeout
+                        )
+                    indexed.append(index)
+                    waiters.append(waiter)
+            results = await asyncio.gather(*waiters, return_exceptions=True)
+            _check_invariant(zip(indexed, results), corpus, expected)
+            # No stale coalescing entry survives the storm.
+            assert not service._inflight
+            # The service serves fresh traffic once the faults stop.
+            faultinject.uninstall()
+            for index in (0, 5, 13, 16):
+                solution = await service.submit(*corpus[index])
+                assert solution.exists == expected[index]
+            stats = service.stats.snapshot()
+            assert stats["submitted"] >= 64
+            assert stats["completed"] >= 1
+
+    faultinject.install(plan)
+    try:
+        asyncio.run(asyncio.wait_for(scenario(), STORM_TIMEOUT))
+    finally:
+        faultinject.uninstall()
+
+
+class TestThreadChaos:
+    @pytest.mark.parametrize("seed", FIXED_SEEDS)
+    def test_storm_terminates_with_parity(self, seed):
+        _run_thread_storm(seed)
+
+    def test_randomized_seed_from_env(self):
+        spec = os.environ.get("REPRO_CHAOS_SEED")
+        if not spec:
+            pytest.skip("set REPRO_CHAOS_SEED to run the randomized storm")
+        seed = int(spec)
+        print(f"\nREPRO_CHAOS_SEED={seed}  # replay: REPRO_CHAOS_SEED={seed}")
+        _run_thread_storm(seed)
+
+
+class TestProcessChaos:
+    @pytest.mark.parametrize("seed", FIXED_SEEDS)
+    def test_worker_kill_storm(self, seed):
+        """Workers die abruptly mid-storm; the supervisor + retries keep
+        every answer correct, and fresh traffic flows afterwards."""
+        corpus = _corpus()[:6]
+        expected = _expected(corpus)
+        plan = FaultPlan(
+            seed,
+            {"worker.kill.before": 0.25, "worker.kill.during": 0.10},
+            delay_ms=(1.0, 10.0),
+        )
+        config = ServiceConfig(
+            thread_workers=2,
+            process_workers=2,
+            process_cost_threshold=0.0,
+            retry_budget=3,
+            breaker_threshold=4,
+            breaker_cooldown=0.2,
+            worker_restart_backoff=0.01,
+        )
+
+        async def scenario():
+            async with SolveService(config) as service:
+                indexed = [
+                    index
+                    for _ in range(2)
+                    for index in range(len(corpus))
+                ]
+                waiters = [
+                    service.submit(*corpus[index]) for index in indexed
+                ]
+                results = await asyncio.gather(
+                    *waiters, return_exceptions=True
+                )
+                _check_invariant(zip(indexed, results), corpus, expected)
+                assert not service._inflight
+                # Disarm and verify recovery: armed workers can still die
+                # once more, but any crash replaces them with a disarmed
+                # pool (the env export is gone), so retries — or the open
+                # breaker's thread fallback — must land every answer.
+                faultinject.uninstall()
+                for index, (source, target) in enumerate(corpus):
+                    solution = await service.submit(source, target)
+                    assert solution.exists == expected[index]
+
+        faultinject.install(plan, env=True)
+        try:
+            asyncio.run(asyncio.wait_for(scenario(), STORM_TIMEOUT))
+        finally:
+            faultinject.uninstall()
+
+
+class TestBreakerDegradation:
+    """Probability-1.0 faults: each breaker's degrade path, pinned."""
+
+    def test_kernel_breaker_degrades_to_legacy_engine(self):
+        first = cheap_instance(0)
+        second = cheap_instance(1)
+        expected_second = _expected([second])[0]
+        config = ServiceConfig(
+            thread_workers=2,
+            process_workers=0,
+            retry_budget=1,
+            breaker_threshold=2,
+            breaker_cooldown=60.0,
+        )
+
+        async def scenario():
+            async with SolveService(config) as service:
+                # Both attempts hit the injected compile fault, tripping
+                # the kernel breaker (threshold 2) and failing typed.
+                with pytest.raises(FaultInjectedError):
+                    await service.submit(*first)
+                assert service.stats.retries == 1
+                assert (
+                    service.stats.breaker_states.get("kernel") == "open"
+                )
+                # With the breaker open the next request bypasses the
+                # compiled plane entirely — the legacy reference engine
+                # answers exactly, despite compile still being poisoned.
+                solution = await service.submit(*second)
+                assert solution.strategy == "legacy-engine(kernel-breaker)"
+                assert solution.exists == expected_second
+                assert service.stats.degraded.get("kernel", 0) >= 1
+
+        faultinject.install(FaultPlan(0, {"kernel.compile.raise": 1.0}))
+        try:
+            asyncio.run(asyncio.wait_for(scenario(), STORM_TIMEOUT))
+        finally:
+            faultinject.uninstall()
+
+    def test_datalog_budget_degrades_to_planner_search(self):
+        # clique(5) → clique(3) routes through the canonical-Datalog
+        # plane (asserted below), where the injected budget breach fires.
+        first = (clique(5), clique(3))
+        second = (clique(6), clique(3))
+        pipeline = SolveService(ServiceConfig()).pipeline
+        baseline = pipeline.solve(
+            *first, plan=True, try_canonical_datalog=2
+        )
+        assert "route=datalog" in baseline.strategy
+        config = ServiceConfig(
+            thread_workers=2,
+            process_workers=0,
+            retry_budget=2,
+            breaker_threshold=1,
+            breaker_cooldown=60.0,
+        )
+
+        async def scenario():
+            async with SolveService(config) as service:
+                # Attempt 1 breaches the budget; the retry strips the
+                # canonical-Datalog ask and the planner's search answers
+                # the same question — the request is rescued, not failed.
+                solution = await service.submit_datalog(*first, k=2)
+                assert solution.exists == baseline.exists
+                assert service.stats.retries == 1
+                assert service.stats.requests_rescued == 1
+                assert (
+                    service.stats.breaker_states.get("datalog") == "open"
+                )
+                # With the breaker open the ask is stripped *before* the
+                # first attempt: no retry needed, still exact.
+                solution = await service.submit_datalog(*second, k=2)
+                assert not solution.exists  # K6 never maps into K3
+                assert service.stats.degraded.get("datalog", 0) >= 1
+                assert service.stats.retries == 1  # unchanged
+
+        faultinject.install(FaultPlan(1, {"datalogk.budget": 1.0}))
+        try:
+            asyncio.run(asyncio.wait_for(scenario(), STORM_TIMEOUT))
+        finally:
+            faultinject.uninstall()
+
+    def test_process_kill_storm_is_rescued_by_threads(self):
+        source, target = heavy_instance(0)
+        expected = _expected([(source, target)])[0]
+        config = ServiceConfig(
+            thread_workers=1,
+            process_workers=1,
+            process_cost_threshold=0.0,
+            retry_budget=2,
+            breaker_threshold=2,
+            breaker_cooldown=60.0,
+            worker_restart_backoff=0.01,
+        )
+
+        async def scenario():
+            async with SolveService(config) as service:
+                # Attempt 1: worker dies.  Attempt 2: the supervisor
+                # respawns the pool, whose worker dies too — breaker
+                # opens.  Attempt 3: degraded to the thread backend,
+                # which answers.  One request, the whole lifecycle.
+                solution = await service.submit(source, target)
+                assert solution.exists == expected
+                stats = service.stats
+                assert stats.requests_rescued == 1
+                assert stats.retries == 2
+                assert stats.worker_restarts == 1
+                assert stats.degraded.get("process", 0) == 1
+                assert stats.breaker_states.get("process") == "open"
+
+        faultinject.install(
+            FaultPlan(2, {"worker.kill.before": 1.0}), env=True
+        )
+        try:
+            asyncio.run(asyncio.wait_for(scenario(), STORM_TIMEOUT))
+        finally:
+            faultinject.uninstall()
+
+
+class TestCancellationFreesWorkers:
+    def test_timed_out_solve_frees_its_worker_quickly(self):
+        """The acceptance criterion for deadline propagation: a timed-out
+        kernel solve stops consuming its worker within the cooperative
+        check interval, instead of grinding to completion."""
+        source, target = slow_instance()
+        cheap = cheap_instance(0)
+        pipeline = SolveService(ServiceConfig()).pipeline
+        started = time.perf_counter()
+        uncancelled_solution = pipeline.solve(source, target)
+        uncancelled = time.perf_counter() - started
+        assert not uncancelled_solution.exists
+        cheap_expected = pipeline.solve(*cheap).exists
+        config = ServiceConfig(thread_workers=1, process_workers=0)
+
+        async def scenario():
+            async with SolveService(config) as service:
+                with pytest.raises(SolveTimeoutError):
+                    await service.submit(source, target, timeout=0.08)
+                # The single worker must be free again almost at once:
+                # the next request completes in a fraction of the time
+                # the abandoned solve would still have been running.
+                freed_at = time.perf_counter()
+                solution = await service.submit(*cheap)
+                freed = time.perf_counter() - freed_at
+                assert solution.exists == cheap_expected
+                assert freed < max(0.1, uncancelled / 2), (
+                    f"worker held {freed:.3f}s after timeout "
+                    f"(uncancelled solve: {uncancelled:.3f}s)"
+                )
+                # The computation unwound cooperatively — it did not run
+                # to completion for a waiter that had already left.
+                assert service.stats.cancelled_solves == 1
+                assert service.stats.timeouts >= 1
+
+        asyncio.run(asyncio.wait_for(scenario(), STORM_TIMEOUT))
+
+    def test_leader_timeout_does_not_starve_patient_follower(self):
+        """Timeout during coalesce: the leader gives up, but its
+        follower extended the shared deadline, so the computation keeps
+        going and the follower still gets the answer."""
+        source, target = slow_instance()
+        config = ServiceConfig(thread_workers=1, process_workers=0)
+
+        async def scenario():
+            async with SolveService(config) as service:
+                leader = service.submit(source, target, timeout=0.05)
+                follower = service.submit(source, target, timeout=30.0)
+                leader_result, follower_result = await asyncio.gather(
+                    leader, follower, return_exceptions=True
+                )
+                assert isinstance(leader_result, SolveTimeoutError)
+                assert not isinstance(follower_result, BaseException)
+                assert not follower_result.exists
+                stats = service.stats
+                assert stats.coalesce_hits == 1
+                assert stats.timeouts == 1
+                assert stats.completed == 1
+                # The extension reached the running kernel loop: the
+                # computation was never cooperatively cancelled.
+                assert stats.cancelled_solves == 0
+
+        asyncio.run(asyncio.wait_for(scenario(), STORM_TIMEOUT))
+
+
+class TestShutdownAndOverloadRaces:
+    def test_submit_after_stop_begins_is_rejected_typed(self):
+        config = ServiceConfig(thread_workers=1, process_workers=0)
+
+        async def scenario():
+            service = await SolveService(config).start()
+            blocker = asyncio.ensure_future(
+                service.submit(*slow_instance())
+            )
+            await asyncio.sleep(0.05)  # the blocker is dispatched
+            stop_task = asyncio.create_task(service.stop(drain=False))
+            await asyncio.sleep(0)  # stop() has flipped the gate
+            with pytest.raises(ServiceClosedError):
+                service.submit(*cheap_instance())
+            # The already-running solve still completes for its waiter.
+            solution = await blocker
+            assert not solution.exists
+            await stop_task
+
+        asyncio.run(asyncio.wait_for(scenario(), STORM_TIMEOUT))
+
+    def test_stop_without_drain_fails_queued_and_followers_typed(self):
+        config = ServiceConfig(thread_workers=1, process_workers=0)
+
+        async def scenario():
+            service = await SolveService(config).start()
+            blocker = asyncio.ensure_future(
+                service.submit(*slow_instance())
+            )
+            await asyncio.sleep(0.05)  # single worker now occupied
+            queued_pair = cheap_instance(3)
+            queued = asyncio.ensure_future(service.submit(*queued_pair))
+            follower = asyncio.ensure_future(
+                service.submit(*queued_pair)
+            )
+            await asyncio.sleep(0)  # both are waiting behind the blocker
+            assert service.stats.coalesce_hits == 1
+            await service.stop(drain=False)
+            # Queued leader AND coalesced follower fail with the typed
+            # closure error — never a bare CancelledError — and the
+            # fingerprint table holds no stale entry.
+            with pytest.raises(ServiceClosedError):
+                await queued
+            with pytest.raises(ServiceClosedError):
+                await follower
+            assert not service._inflight
+            solution = await blocker
+            assert not solution.exists
+
+        asyncio.run(asyncio.wait_for(scenario(), STORM_TIMEOUT))
+
+    def test_overload_rejects_new_work_of_any_priority(self):
+        config = ServiceConfig(
+            thread_workers=1, process_workers=0, max_pending=2
+        )
+
+        async def scenario():
+            async with SolveService(config) as service:
+                blocker = asyncio.ensure_future(
+                    service.submit(*slow_instance())
+                )
+                await asyncio.sleep(0.05)
+                queued_pair = cheap_instance(4)
+                queued = asyncio.ensure_future(
+                    service.submit(*queued_pair)
+                )
+                # Admission control is priority-blind for *new* work:
+                # a HIGH submission cannot evict open requests.
+                with pytest.raises(ServiceOverloadedError):
+                    service.submit(
+                        *heavy_instance(1), priority=Priority.HIGH
+                    )
+                assert service.stats.rejected == 1
+                # But a duplicate of queued work coalesces for free even
+                # at low priority — it adds no open request.
+                follower = asyncio.ensure_future(
+                    service.submit(*queued_pair, priority=Priority.LOW)
+                )
+                await asyncio.sleep(0)
+                assert service.stats.coalesce_hits == 1
+                results = await asyncio.gather(blocker, queued, follower)
+                assert results[1].exists == results[2].exists
+
+        asyncio.run(asyncio.wait_for(scenario(), STORM_TIMEOUT))

@@ -5,11 +5,16 @@ import pytest
 from repro.exceptions import (
     DatalogError,
     DecompositionError,
+    FaultInjectedError,
     NotBooleanError,
     NotSchaeferError,
     ParseError,
     ReproError,
+    ResourceBudgetError,
+    ServiceError,
+    SolveTimeoutError,
     VocabularyError,
+    WorkerCrashedError,
 )
 
 
@@ -23,12 +28,24 @@ class TestHierarchy:
             NotSchaeferError,
             DecompositionError,
             DatalogError,
+            ResourceBudgetError,
+            FaultInjectedError,
+            SolveTimeoutError,
+            WorkerCrashedError,
         ],
     )
     def test_all_derive_from_repro_error(self, exception):
         assert issubclass(exception, ReproError)
         with pytest.raises(ReproError):
             raise exception("boom")
+
+    @pytest.mark.parametrize(
+        "exception", [SolveTimeoutError, WorkerCrashedError]
+    )
+    def test_service_side_errors_are_service_errors(self, exception):
+        # A service client catching ServiceError sees every way the
+        # serving layer (as opposed to the instance) can fail it.
+        assert issubclass(exception, ServiceError)
 
 
 class TestErrorMessages:

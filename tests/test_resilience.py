@@ -1,0 +1,320 @@
+"""Unit tests for the resilience primitives.
+
+Covers the building blocks the chaos suite (``tests/test_chaos.py``)
+exercises end to end: the circuit-breaker state machine, the failure
+classifier, deadlines and cooperative cancellation tokens, the seeded
+fault-injection plan, and the supervised process pool's crash-respawn
+cycle.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+
+import pytest
+
+from repro import faultinject
+from repro.exceptions import (
+    FaultInjectedError,
+    ResourceBudgetError,
+    SolveTimeoutError,
+    WorkerCrashedError,
+)
+from repro.core.cancellation import (
+    CancellationToken,
+    Deadline,
+    cancel_scope,
+    checkpoint,
+    combine_deadlines,
+    current_token,
+)
+from repro.faultinject import FaultPlan
+from repro.service.resilience import (
+    BreakerState,
+    CircuitBreaker,
+    FailureKind,
+    classify,
+)
+from repro.service.supervision import SupervisedProcessPool
+from repro.service.workers import worker_pid
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestCircuitBreaker:
+    def make(self, **kwargs):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            "test", threshold=3, cooldown=1.0, clock=clock, **kwargs
+        )
+        return breaker, clock
+
+    def test_stays_closed_below_threshold(self):
+        breaker, _ = self.make()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_success_resets_the_failure_count(self):
+        breaker, _ = self.make()
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_opens_at_threshold_and_blocks(self):
+        breaker, clock = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+        clock.advance(0.5)
+        assert not breaker.allow()  # still cooling
+
+    def test_half_open_admits_exactly_one_probe(self):
+        breaker, clock = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()  # the probe
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert not breaker.allow()  # probe slot already claimed
+
+    def test_probe_success_closes(self):
+        breaker, clock = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_with_fresh_cooldown(self):
+        breaker, clock = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        clock.advance(0.5)
+        assert not breaker.allow()  # the cooldown restarted at reopen
+        clock.advance(0.5)
+        assert breaker.allow()
+
+    def test_transitions_are_counted_and_reported(self):
+        seen: list[tuple[str, BreakerState]] = []
+        breaker, clock = self.make(
+            on_transition=lambda name, state: seen.append((name, state))
+        )
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(1.0)
+        breaker.allow()
+        breaker.record_success()
+        assert seen == [
+            ("test", BreakerState.OPEN),
+            ("test", BreakerState.HALF_OPEN),
+            ("test", BreakerState.CLOSED),
+        ]
+        assert breaker.snapshot()["transitions"] == {
+            "open": 1,
+            "half_open": 1,
+            "closed": 1,
+        }
+
+
+class TestClassify:
+    @pytest.mark.parametrize(
+        ("exc", "kind", "breaker"),
+        [
+            (WorkerCrashedError("x"), FailureKind.TRANSIENT, "process"),
+            (FaultInjectedError("x"), FailureKind.TRANSIENT, "kernel"),
+            (ResourceBudgetError("x"), FailureKind.DEGRADE_DATALOG, "datalog"),
+            (SolveTimeoutError("x"), FailureKind.TIMEOUT, None),
+            (ValueError("x"), FailureKind.PERMANENT, None),
+        ],
+    )
+    def test_mapping(self, exc, kind, breaker):
+        assert classify(exc) == (kind, breaker)
+
+
+class TestDeadline:
+    def test_after_and_remaining(self):
+        deadline = Deadline.after(10.0)
+        assert 9.0 < deadline.remaining() <= 10.0
+        assert not deadline.expired()
+        assert Deadline.after(-0.001).expired()
+
+    def test_extend_to_later_wins(self):
+        deadline = Deadline.after(1.0)
+        deadline.extend_to(Deadline.after(10.0))
+        assert deadline.remaining() > 5.0
+        before = deadline.expires_at
+        deadline.extend_to(Deadline.after(0.5))  # earlier: no-op
+        deadline.extend_to(None)  # None: no-op
+        assert deadline.expires_at == before
+
+    def test_combine_loosest_wins(self):
+        short, long = Deadline.after(1.0), Deadline.after(10.0)
+        assert combine_deadlines(short, long) is long
+        assert combine_deadlines(long, short) is long
+        assert combine_deadlines(None, short) is None
+        assert combine_deadlines(short, None) is None
+        assert combine_deadlines(None, None) is None
+
+
+class TestCancellationToken:
+    def test_unbounded_token_never_raises(self):
+        token = CancellationToken()
+        token.check()
+        assert not token.expired()
+
+    def test_cancel_makes_check_raise(self):
+        token = CancellationToken()
+        token.cancel()
+        assert token.expired()
+        with pytest.raises(SolveTimeoutError):
+            token.check()
+
+    def test_expired_deadline_makes_check_raise(self):
+        token = CancellationToken(Deadline.after(-0.001))
+        with pytest.raises(SolveTimeoutError):
+            token.check()
+
+    def test_extension_rescues_a_running_token(self):
+        # The coalescing rule in miniature: a more patient waiter
+        # attaches, the shared deadline moves out, and the running
+        # computation's next check passes instead of raising.
+        token = CancellationToken(Deadline.after(-0.001))
+        token.deadline.extend_to(Deadline.after(10.0))
+        token.check()
+
+    def test_scope_installs_and_restores(self):
+        assert current_token() is None
+        outer, inner = CancellationToken(), CancellationToken()
+        with cancel_scope(outer):
+            assert current_token() is outer
+            with cancel_scope(inner):
+                assert current_token() is inner
+            assert current_token() is outer
+        assert current_token() is None
+
+    def test_checkpoint_checks_the_ambient_token(self):
+        checkpoint()  # no scope: no-op
+        token = CancellationToken()
+        token.cancel()
+        with cancel_scope(token):
+            with pytest.raises(SolveTimeoutError):
+                checkpoint()
+
+
+class TestFaultPlan:
+    def test_per_point_streams_ignore_interleaving(self):
+        # The n-th draw of a point depends only on (seed, point, n) —
+        # hammering another point in between must not change it.
+        plain = FaultPlan(7, {"a": 0.5, "b": 0.5})
+        reference = [plain.fires("a") for _ in range(50)]
+        noisy = FaultPlan(7, {"a": 0.5, "b": 0.5})
+        interleaved = []
+        for _ in range(50):
+            noisy.fires("b")
+            interleaved.append(noisy.fires("a"))
+            noisy.fires("b")
+        assert interleaved == reference
+
+    def test_different_seeds_differ(self):
+        draws = lambda seed: [  # noqa: E731
+            FaultPlan(seed, {"a": 0.5}).fires("a") for _ in range(64)
+        ]
+        assert draws(1) != draws(2)
+
+    def test_spec_round_trip_preserves_decisions(self):
+        plan = FaultPlan(3, {"a": 0.4}, delay_ms=(2.0, 9.0))
+        clone = FaultPlan.from_spec(plan.spec())
+        assert clone.seed == plan.seed
+        assert clone.points == plan.points
+        assert clone.delay_ms == plan.delay_ms
+        assert [plan.fires("a") for _ in range(40)] == [
+            clone.fires("a") for _ in range(40)
+        ]
+
+    def test_counters_and_missing_points(self):
+        plan = FaultPlan(0, {"always": 1.0, "never": 0.0})
+        assert plan.fires("always") and not plan.fires("never")
+        assert not plan.fires("unknown")
+        assert plan.hits == {"always": 1}  # zero-probability: no draw
+        assert plan.fired == {"always": 1}
+
+    def test_delay_stays_in_bounds(self):
+        plan = FaultPlan(0, {"d": 1.0}, delay_ms=(2.0, 9.0))
+        for _ in range(20):
+            assert 0.002 <= plan.delay("d") <= 0.009
+        assert FaultPlan(0, {}).delay("d") == 0.0
+
+    def test_install_uninstall_and_env_round_trip(self):
+        assert faultinject.current() is None
+        assert not faultinject.fires("x")
+        assert faultinject.delay_seconds("x") == 0.0
+        faultinject.raise_fault("x")  # disarmed: no-op
+        plan = FaultPlan(1, {"x": 1.0})
+        try:
+            faultinject.install(plan, env=True)
+            assert faultinject.current() is plan
+            assert os.environ[faultinject.ENV_VAR] == plan.spec()
+            with pytest.raises(FaultInjectedError):
+                faultinject.raise_fault("x")
+        finally:
+            faultinject.uninstall()
+        assert faultinject.current() is None
+        assert faultinject.ENV_VAR not in os.environ
+
+    def test_install_from_env(self):
+        plan = FaultPlan(9, {"y": 1.0})
+        try:
+            os.environ[faultinject.ENV_VAR] = plan.spec()
+            faultinject.install_from_env()
+            installed = faultinject.current()
+            assert installed is not None and installed.seed == 9
+            assert installed.fires("y")
+        finally:
+            faultinject.uninstall()
+
+
+class TestSupervisedProcessPool:
+    def test_crash_respawn_cycle(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            pool = SupervisedProcessPool(
+                1, 64, restart_backoff=0.01, jitter_seed=0
+            )
+            assert await pool.start(loop)
+            first_generation = pool.generation
+            assert await pool.run(loop, worker_pid) > 0
+            # An abrupt worker death (os._exit, like a segfault) breaks
+            # the whole executor: the supervisor must type the error...
+            with pytest.raises(WorkerCrashedError):
+                await pool.run(loop, os._exit, faultinject.KILL_EXIT_STATUS)
+            # ...and the next call respawns a fresh generation that works.
+            assert await pool.run(loop, worker_pid) > 0
+            assert pool.generation == first_generation + 1
+            assert pool.restarts == 1
+            assert pool.available
+            await pool.shutdown()
+            assert not pool.available
+
+        asyncio.run(scenario())
