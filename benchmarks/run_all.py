@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Print the experiment report: one table per experiment E1–E15, P1–P6.
+"""Print the experiment report: one table per experiment E1–E15, P1–P7.
 
 This is the "rows/series" harness of EXPERIMENTS.md: each table reports
 wall-clock medians for every algorithm on the shared workloads of
@@ -17,7 +17,10 @@ cores) against the legacy one-shot paths — see ``bench_p05_query.py``
 for the full version with the containment planner; P6 compares the
 bitset Datalog engine against the legacy evaluator and the Theorem 4.2
 decision routes, with parity asserted inline — see
-``bench_p06_datalog.py`` for the full version with the service route.
+``bench_p06_datalog.py`` for the full version with the service route;
+P7 summarizes the plan-vs-actual calibration log on planned solves —
+see ``bench_p07_obs.py`` for the full calibration tables and the
+kernel-counter overhead gate.
 
 Run:  python benchmarks/run_all.py [--repeat 3] [--json out.json]
 
@@ -573,6 +576,43 @@ def p06() -> None:
     )
 
 
+def p07() -> None:
+    """Plan-vs-actual calibration: planner cost guess vs kernel work."""
+    from repro.obs.calibration import ROUTE_WORK_COUNTER, CalibrationLog
+
+    pipeline = SolverPipeline()
+    log = CalibrationLog()
+    for source, target in (
+        *(
+            (item[1], item[2])
+            for item in W.bounded_treewidth_family(widths=(2,), n=36, seed=0)
+        ),
+        (clique(5), random_graph(16, 0.5, seed=0)),
+        W.pebble_two_coloring_instance(40, seed=0),
+    ):
+        solution = pipeline.solve(source, target, plan=True)
+        if solution.stats is not None:
+            log.observe_solve(solution.stats)
+    rows = []
+    for route, entry in log.report().items():
+        rows.append(
+            [
+                route,
+                ROUTE_WORK_COUNTER.get(route, "-"),
+                f"{entry['predicted_median']:.0f}",
+                f"{entry.get('observed_median', '-')}",
+                f"{entry.get('ratio_median', '-')}",
+                ms(entry["latency_median_ms"]),
+            ]
+        )
+    table(
+        "P7 plan-vs-actual calibration (see bench_p07_obs.py for the "
+        "overhead gate)",
+        ["route", "work counter", "predicted", "observed", "ratio", "median"],
+        rows,
+    )
+
+
 def main() -> None:
     global REPEAT
     parser = argparse.ArgumentParser(description=__doc__)
@@ -589,7 +629,7 @@ def main() -> None:
     print("(median wall-clock per call; see EXPERIMENTS.md for shapes)")
     for experiment in (
         e01, e03, e04, e05_e06, e07, e08, e09, e10_e11, e12, e13, e14,
-        e15, p01, p02, p04, p05, p06,
+        e15, p01, p02, p04, p05, p06, p07,
     ):
         experiment()
     if args.json is not None:

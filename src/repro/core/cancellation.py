@@ -41,6 +41,7 @@ from contextlib import contextmanager
 from typing import Iterator
 
 from repro.exceptions import SolveTimeoutError
+from repro.obs.metrics import kcount
 
 __all__ = [
     "CHECK_INTERVAL",
@@ -131,7 +132,12 @@ class CancellationToken:
         )
 
     def check(self) -> None:
-        """Raise :class:`SolveTimeoutError` if cancelled or past deadline."""
+        """Raise :class:`SolveTimeoutError` if cancelled or past deadline.
+
+        Called once per :data:`CHECK_INTERVAL` units of kernel work, so
+        the ``deadline.checks`` counter bump here stays off the hot path.
+        """
+        kcount("deadline.checks")
         if self._cancelled:
             raise SolveTimeoutError("solve cancelled cooperatively")
         deadline = self.deadline

@@ -49,6 +49,9 @@ from repro.boolean.schaefer import SchaeferClass, classify_structure
 from repro.core.cancellation import CancellationToken, Deadline, cancel_scope
 from repro.exceptions import VocabularyError
 from repro.kernel.compile import CompiledTarget, compile_target
+from repro.obs import calibration as _calibration
+from repro.obs.metrics import collect_kernel_counters
+from repro.obs.trace import maybe_span
 from repro.structures.fingerprint import canonical_fingerprint
 from repro.structures.structure import Structure
 from repro.treewidth.decomposition import TreeDecomposition
@@ -103,6 +106,20 @@ class SolveStats:
         ``None`` otherwise.  This is what makes the engine choice —
         search vs. DP vs. pebble, and the cost signals behind it —
         observable per solve.
+    kernel:
+        What the kernel engines *actually did* for this solve — the
+        per-solve kernel counters (``"search.nodes"``,
+        ``"dp.bag_cells"``, ``"datalog.rounds"``, …; see
+        :data:`repro.obs.metrics.KERNEL_COUNTERS`) collected while the
+        winning strategy ran.  ``None`` when no kernel engine ran or the
+        hooks are disabled (``REPRO_OBS_METRICS=0``).  Paired with
+        ``plan``, this is the raw material of the plan-vs-actual
+        calibration report.
+    trace:
+        Exported span subtrees (JSON-ready dicts) produced on the far
+        side of a process boundary: a pool worker attaches its in-worker
+        trace here so the service can graft it under the dispatch span.
+        ``None`` everywhere else.
     """
 
     attempted: tuple[str, ...] = ()
@@ -110,6 +127,8 @@ class SolveStats:
     cache_misses: int = 0
     timings: Mapping[str, float] = field(default_factory=dict)
     plan: Mapping[str, object] | None = None
+    kernel: Mapping[str, int] | None = None
+    trace: tuple[Mapping[str, object], ...] | None = None
 
 
 @dataclass(frozen=True)
@@ -524,26 +543,31 @@ class SolverPipeline:
         timings: dict[str, float] = {}
         start = time.perf_counter()
         solution: Solution | None = None
-        for strategy in self._strategies:
-            tick = time.perf_counter()
-            accepted = strategy.applies(source, target, context)
-            timings[f"applies:{strategy.name}"] = (
-                (time.perf_counter() - tick) * 1000
-            )
-            attempted.append(strategy.name)
-            if accepted:
+        with maybe_span("pipeline.solve") as pipeline_span, \
+                collect_kernel_counters() as kernel_bag:
+            for strategy in self._strategies:
                 tick = time.perf_counter()
-                solution = strategy.run(source, target, context)
-                timings[f"run:{strategy.name}"] = (
+                accepted = strategy.applies(source, target, context)
+                timings[f"applies:{strategy.name}"] = (
                     (time.perf_counter() - tick) * 1000
                 )
-                break
+                attempted.append(strategy.name)
+                if accepted:
+                    tick = time.perf_counter()
+                    with maybe_span(f"strategy:{strategy.name}"):
+                        solution = strategy.run(source, target, context)
+                    timings[f"run:{strategy.name}"] = (
+                        (time.perf_counter() - tick) * 1000
+                    )
+                    break
         if solution is None:
             raise RuntimeError(
                 "no strategy applied — the pipeline needs a total fallback "
                 "(the default registry ends with backtracking)"
             )
         timings["total"] = (time.perf_counter() - start) * 1000
+        if pipeline_span is not None:
+            pipeline_span.set(strategy=solution.strategy)
         # The context's tally counts only this solve's cache calls, so the
         # numbers stay truthful when other threads share the cache.
         stats = SolveStats(
@@ -552,7 +576,11 @@ class SolverPipeline:
             cache_misses=context.tally.misses,
             timings=timings,
             plan=context.scratch.get("plan"),  # type: ignore[arg-type]
+            kernel=dict(kernel_bag) if kernel_bag else None,
         )
+        # Planned solves feed the plan-vs-actual calibration log.
+        if stats.plan is not None:
+            _calibration.observe(stats)
         return replace(solution, stats=stats)
 
     def solve_many(

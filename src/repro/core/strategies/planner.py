@@ -43,6 +43,7 @@ from repro.kernel.decomp import solve_decomposition
 from repro.kernel.estimate import Plan, plan_instance
 from repro.kernel.pebblek import spoiler_wins_k
 from repro.kernel.search import solve as kernel_solve
+from repro.obs.trace import maybe_span
 from repro.structures.structure import Structure
 
 __all__ = ["WidthPlannerStrategy"]
@@ -59,14 +60,23 @@ class WidthPlannerStrategy:
         """Derive (and stash) the routing decision for this solve."""
         plan = context.scratch.get("plan_obj")
         if not isinstance(plan, Plan):
-            plan = plan_instance(
-                source,
-                context.compiled_target(target),
-                width_threshold=context.width_threshold,
-                pebble_k=context.pebble_k,
-                datalog_k=context.datalog_k,
-                decomposition_provider=lambda: context.decomposition(source),
-            )
+            with maybe_span("planner.decide") as span:
+                plan = plan_instance(
+                    source,
+                    context.compiled_target(target),
+                    width_threshold=context.width_threshold,
+                    pebble_k=context.pebble_k,
+                    datalog_k=context.datalog_k,
+                    decomposition_provider=lambda: context.decomposition(
+                        source
+                    ),
+                )
+                if span is not None:
+                    span.set(
+                        route=plan.route,
+                        predicted_cost=plan.predicted_cost,
+                        width=plan.width,
+                    )
             context.scratch["plan_obj"] = plan
             context.scratch["plan"] = plan.as_dict()
         return plan

@@ -46,6 +46,9 @@ from repro import faultinject
 from repro.core.cancellation import current_token
 from repro.exceptions import DatalogError, ResourceBudgetError
 from repro.kernel.compile import compile_target
+from repro.obs.logs import get_logger
+from repro.obs.metrics import kcount
+from repro.obs.trace import maybe_span
 from repro.structures.structure import Structure
 
 if TYPE_CHECKING:  # pragma: no cover — annotation-only imports
@@ -71,6 +74,8 @@ Element = Hashable
 Row = tuple[Element, ...]
 #: The legacy evaluator's return shape (``repro.datalog.evaluation``).
 Database = dict[str, set[Row]]
+
+_budget_log = get_logger("kernel")
 
 
 class _CompiledRule:
@@ -167,6 +172,16 @@ class CompiledDatalog:
         for width in sorted({r.num_digits for r in self.rules}):
             space = n**width
             if space > MAX_TABLE_CELLS:
+                _budget_log.warning(
+                    "datalog compile refused: binding space exceeds budget",
+                    extra={
+                        "event": "budget.trip",
+                        "engine": "datalog",
+                        "bound": space,
+                        "budget": MAX_TABLE_CELLS,
+                        "width": width,
+                    },
+                )
                 raise ResourceBudgetError(
                     f"datalog binding space n^v = {n}^{width} exceeds "
                     f"max_table_cells={MAX_TABLE_CELLS}; route this "
@@ -379,7 +394,30 @@ class _Evaluation:
         return updates
 
     def run(self, method: str, *, stop_at_goal: bool = False) -> None:
-        """Drive the fixpoint; optionally stop once the goal derives."""
+        """Drive the fixpoint; optionally stop once the goal derives.
+
+        Observability wrapper around :meth:`_run`: opens a
+        ``kernel.datalog`` span when a trace is ambient and flushes the
+        round count and cumulative delta-table bits into the
+        ``datalog.rounds`` / ``datalog.delta_bits`` kernel counters.
+        """
+        counters = [0, 0]  # rounds, delta bits
+        with maybe_span("kernel.datalog", method=method) as span:
+            try:
+                self._run(method, stop_at_goal, counters)
+            finally:
+                kcount("datalog.rounds", counters[0])
+                kcount("datalog.delta_bits", counters[1])
+                if span is not None:
+                    span.set(rounds=counters[0], delta_bits=counters[1])
+
+    def _count_round(self, counters: list[int], delta: dict[str, int]) -> None:
+        counters[0] += 1
+        counters[1] += sum(mask.bit_count() for mask in delta.values())
+
+    def _run(
+        self, method: str, stop_at_goal: bool, counters: list[int]
+    ) -> None:
         cp = self.cp
         goal = cp.program.goal
         # Cooperative cancellation: a fixpoint round over a wide binding
@@ -391,6 +429,7 @@ class _Evaluation:
             if token is not None:
                 token.check()
             self._absorb(crule.head_name, self._fire_full(ri), self.delta)
+        self._count_round(counters, self.delta)
         if stop_at_goal and self.facts[goal]:
             return
         if method == "naive":
@@ -406,6 +445,7 @@ class _Evaluation:
                         crule.head_name, self._fire_full(ri), next_delta
                     )
                 self.delta = next_delta
+                self._count_round(counters, self.delta)
                 if stop_at_goal and self.facts[goal]:
                     return
             return
@@ -431,6 +471,7 @@ class _Evaluation:
                     crule.head_name, self._project(crule, bindings), next_delta
                 )
             self.delta = next_delta
+            self._count_round(counters, self.delta)
             if stop_at_goal and self.facts[goal]:
                 return
 
@@ -470,6 +511,11 @@ def _seed(
     for predicate in program.edb_predicates:
         facts.setdefault(predicate, 0)
     if faultinject.fires("datalogk.budget"):
+        _budget_log.warning(
+            "injected datalog budget breach",
+            extra={"event": "budget.trip", "engine": "datalog",
+                   "injected": True},
+        )
         raise ResourceBudgetError(
             "injected binding-space budget breach (datalogk.budget)"
         )

@@ -52,6 +52,9 @@ from repro.kernel.compile import (
     compile_target,
     initial_domains,
 )
+from repro.obs.logs import get_logger
+from repro.obs.metrics import kcount
+from repro.obs.trace import maybe_span
 from repro.structures.fingerprint import canonical_fingerprint
 from repro.structures.structure import Structure
 from repro.treewidth.decomposition import TreeDecomposition
@@ -61,6 +64,8 @@ from repro.treewidth.nice import make_nice
 __all__ = ["MAX_TABLE_CELLS", "solve_decomposition", "decomposition_exists"]
 
 Element = Hashable
+
+_budget_log = get_logger("kernel")
 
 #: Worst-case bag-table budget (codes per table, the Theorem 5.4 bound
 #: ``m^{w+1}``).  The DP refuses up front — with a typed
@@ -244,10 +249,42 @@ def solve_decomposition(
     budget = MAX_TABLE_CELLS if max_table_cells is None else max_table_cells
     worst_table = m ** (program.width + 1)
     if worst_table > budget or faultinject.fires("decomp.budget"):
+        _budget_log.warning(
+            "treewidth DP refused: bag-table bound exceeds budget",
+            extra={
+                "event": "budget.trip",
+                "engine": "dp",
+                "bound": worst_table,
+                "budget": budget,
+                "width": program.width,
+            },
+        )
         raise ResourceBudgetError(
             f"bag table bound m^(w+1) = {m}^{program.width + 1} exceeds "
             f"max_table_cells={budget}; route this instance to search"
         )
+    with maybe_span("kernel.dp", width=program.width, values=m) as span:
+        assignment, cells = _dp_run(program, csource, ctarget, domains, m)
+        kcount("dp.bag_cells", cells)
+        if span is not None:
+            span.set(bag_cells=cells, found=assignment is not None)
+    return assignment
+
+
+def _dp_run(
+    program: _DecompProgram,
+    csource: CompiledSource,
+    ctarget: CompiledTarget,
+    domains: list[int],
+    m: int,
+) -> tuple[dict[Element, Element] | None, int]:
+    """Run a compiled program bottom-up; returns (witness, bag cells).
+
+    The second component counts every bag-table cell materialised (the
+    per-node ``len(table)`` sum) — the DP's native work measure, flushed
+    into the ``dp.bag_cells`` kernel counter and held against the
+    planner's ``m^(w+1)``-shaped cost guess by the calibration report.
+    """
     token = current_token()
     pow_m = [1]
     for _ in range(program.width + 2):
@@ -261,6 +298,7 @@ def solve_decomposition(
     # Per forget node, one surviving child extension per projected row.
     forget_witness: list[dict[int, int] | None] = [None] * len(kinds)
     rows_seen = 0  # cancellation granularity across introduce rows
+    cells = 0  # bag-table cells materialised, summed over nodes
 
     for index in program.order:
         if token is not None:
@@ -357,8 +395,9 @@ def solve_decomposition(
             left, right = children[index]
             tables[index] = tables[left] & tables[right]  # type: ignore[operator]
             tables[left] = tables[right] = None
+        cells += len(tables[index])  # type: ignore[arg-type]
         if not tables[index]:
-            return None
+            return None, cells
 
     # Top-down witness reconstruction: thread one surviving code from the
     # root through every node, reading variable images off introduce
@@ -387,7 +426,7 @@ def solve_decomposition(
             left, right = children[index]
             stack.append((left, code))
             stack.append((right, code))
-    return assignment
+    return assignment, cells
 
 
 def decomposition_exists(

@@ -49,6 +49,8 @@ from repro.kernel.compile import (
     compile_source,
     compile_target,
 )
+from repro.obs.metrics import kcount
+from repro.obs.trace import maybe_span
 from repro.structures.structure import Structure
 
 __all__ = [
@@ -76,7 +78,24 @@ def _solve_tables(
 
     ``None`` means some domain wiped out — the Spoiler wins.  Assumes a
     non-empty source universe and target (callers handle those edges).
+
+    Observability wrapper: opens a ``kernel.pebble`` span when a trace
+    is ambient and flushes the fixpoint's step count (initial-sweep
+    domains plus worklist pops) into the ``pebble.steps`` counter.
     """
+    steps = [0]
+    with maybe_span("kernel.pebble", k=k) as span:
+        try:
+            return _solve_tables_run(source, ctarget, k, steps)
+        finally:
+            kcount("pebble.steps", steps[0])
+            if span is not None:
+                span.set(steps=steps[0])
+
+
+def _solve_tables_run(
+    source: Structure, ctarget: CompiledTarget, k: int, steps: list[int]
+) -> tuple[list[tuple[int, ...]], list[int]] | None:
     csource = compile_source(source)
     n = len(csource.variables)
     m = len(ctarget.values)
@@ -157,9 +176,19 @@ def _solve_tables(
         low = code % pow_m[p]
         return low + (code // (pow_m[p] * m)) * pow_m[p]
 
+    # Cooperative cancellation: the sweeps and the worklist are the
+    # unbounded phases; check every 64 domains / worklist pops (each
+    # step is itself a batch of big-int work, so the effective
+    # granularity matches the search kernel's node interval).  ``steps``
+    # doubles as the fixpoint's work measure, read by the caller.
+    token = current_token()
+
     # Initial downward sweep (sizes ascending: domains is size-ordered):
     # an image whose restriction is not allowed is not allowed.
     for did, d in enumerate(domains):
+        steps[0] += 1
+        if token is not None and not steps[0] & 63:
+            token.check()
         mask = live[did]
         for sid, p, _residual in subs_of[did]:
             permitted = 0
@@ -192,18 +221,10 @@ def _solve_tables(
             worklist.append(did)
         return True
 
-    # Cooperative cancellation: the initial sweep and the worklist are
-    # the two unbounded phases; check every 64 domains / worklist pops
-    # (each step is itself a batch of big-int work, so the effective
-    # granularity matches the search kernel's node interval).
-    token = current_token()
-    ticks = 0
-
     for did in range(len(domains) - 1, -1, -1):
-        if token is not None:
-            ticks += 1
-            if not ticks & 63:
-                token.check()
+        steps[0] += 1
+        if token is not None and not steps[0] & 63:
+            token.check()
         removed = 0
         for sup_id, p, residual in sups_of[did]:
             sup_live = live[sup_id]
@@ -221,10 +242,9 @@ def _solve_tables(
             return None
 
     while worklist:
-        if token is not None:
-            ticks += 1
-            if not ticks & 63:
-                token.check()
+        steps[0] += 1
+        if token is not None and not steps[0] & 63:
+            token.check()
         did = worklist.pop()
         queued[did] = 0
         removed, pending[did] = pending[did], 0

@@ -24,6 +24,7 @@ from __future__ import annotations
 from collections import deque
 
 from repro.kernel.compile import CompiledSource, CompiledTarget
+from repro.obs.metrics import kcount
 
 __all__ = ["propagate"]
 
@@ -71,10 +72,14 @@ def propagate(
     queued = [True] * len(constraints)
     # Residual last supports, allocated lazily per constraint.
     residuals: list[list[list[int]] | None] = [None] * len(constraints)
+    # Local accumulators, flushed to the kernel metrics once on exit.
+    residual_hits = 0
+    revisions = 0
 
     while queue:
         ci = queue.popleft()
         queued[ci] = False
+        revisions += 1
         name, scope = constraints[ci]
         if not scope:
             continue
@@ -103,6 +108,7 @@ def propagate(
                         if not domains[y] >> row[q] & 1:
                             break
                     else:
+                        residual_hits += 1
                         surviving |= low
                         continue
                 if valid is None:
@@ -116,6 +122,8 @@ def propagate(
             if surviving != domain:
                 domains[x] = surviving
                 if not surviving:
+                    kcount("propagate.residual_hits", residual_hits)
+                    kcount("propagate.revisions", revisions)
                     return None
                 changed.append(x)
         for x in changed:
@@ -126,4 +134,6 @@ def propagate(
                 if not queued[other]:
                     queue.append(other)
                     queued[other] = True
+    kcount("propagate.residual_hits", residual_hits)
+    kcount("propagate.revisions", revisions)
     return domains

@@ -43,6 +43,8 @@ from repro.kernel.compile import (
     initial_domains,
 )
 from repro.kernel.propagate import propagate
+from repro.obs.metrics import kcount
+from repro.obs.trace import maybe_span
 from repro.structures.structure import Structure
 
 __all__ = ["count_solutions", "search_homomorphisms", "solve"]
@@ -291,6 +293,7 @@ def count_solutions(
     ctarget = compile_target(target)
     if stats is None:
         stats = _NullStats()
+    nodes_before, backtracks_before = stats.nodes, stats.backtracks
 
     domains = _pinned_domains(csource, ctarget, fixed, domains)
     if domains is None:
@@ -340,7 +343,18 @@ def count_solutions(
             assigned[x] = -1
         return total
 
-    return extend()
+    with maybe_span("kernel.search", counting=True) as span:
+        try:
+            total = extend()
+        finally:
+            kcount("search.nodes", stats.nodes - nodes_before)
+            kcount("search.backtracks", stats.backtracks - backtracks_before)
+            if span is not None:
+                span.set(
+                    nodes=stats.nodes - nodes_before,
+                    backtracks=stats.backtracks - backtracks_before,
+                )
+    return total
 
 
 def solve(
@@ -357,16 +371,46 @@ def solve(
     establish generalized arc consistency, then search from the pruned
     domains.  Unlike the reference facade, the propagated domains are
     *kept* for the search rather than recomputed.
+
+    Observability: the two phases open ``kernel.propagate`` /
+    ``kernel.search`` spans when a trace is ambient, and the search's
+    node/backtrack counters are flushed to the kernel metrics
+    (``search.nodes`` / ``search.backtracks``) once on exit — the hot
+    loop itself carries no instrumentation beyond the counters it
+    already kept.
     """
-    csource = compile_source(source)
-    ctarget = compile_target(target)
+    with maybe_span("kernel.compile"):
+        csource = compile_source(source)
+        ctarget = compile_target(target)
     domains = initial_domains(csource, ctarget)
     if domains is None:
         return None
-    if propagate_first and propagate(csource, ctarget, domains) is None:
-        return None
-    for assignment in search_homomorphisms(
-        csource, ctarget, stats=stats, order=order, domains=domains
-    ):
-        return assignment
-    return None
+    if propagate_first:
+        with maybe_span("kernel.propagate"):
+            if propagate(csource, ctarget, domains) is None:
+                return None
+    if stats is None:
+        stats = _NullStats()
+    # Callers may hand in a long-lived stats object; flush only this
+    # solve's delta into the kernel counters.
+    nodes_before, backtracks_before = stats.nodes, stats.backtracks
+    with maybe_span("kernel.search") as span:
+        result: dict[Element, Element] | None = None
+        try:
+            for assignment in search_homomorphisms(
+                csource, ctarget, stats=stats, order=order, domains=domains
+            ):
+                result = assignment
+                break
+        finally:
+            nodes = stats.nodes - nodes_before
+            backtracks = stats.backtracks - backtracks_before
+            kcount("search.nodes", nodes)
+            kcount("search.backtracks", backtracks)
+            if span is not None:
+                span.set(
+                    nodes=nodes,
+                    backtracks=backtracks,
+                    found=result is not None,
+                )
+    return result

@@ -35,8 +35,11 @@ from repro.exceptions import (
     SolveTimeoutError,
     WorkerCrashedError,
 )
+from repro.obs.logs import get_logger
 
 __all__ = ["BreakerState", "CircuitBreaker", "FailureKind", "classify"]
+
+_log = get_logger("service.resilience")
 
 
 class BreakerState(str, Enum):
@@ -98,6 +101,17 @@ class CircuitBreaker:
     def _transition(self, state: BreakerState) -> None:
         self._state = state
         self.transitions[state.value] = self.transitions.get(state.value, 0) + 1
+        _log.warning(
+            "circuit breaker %r entered %s",
+            self.name,
+            state.value,
+            extra={
+                "event": "breaker.transition",
+                "breaker": self.name,
+                "state": state.value,
+                "failures": self._failures,
+            },
+        )
         if self.on_transition is not None:
             self.on_transition(self.name, state)
 

@@ -35,6 +35,12 @@ databases.  :class:`SolveService` is that serving layer:
 * **Observability** — :class:`~repro.service.stats.ServiceStats` at
   ``service.stats``: queue depth, coalesce hits, per-route latency
   histograms, folded per-solve :class:`~repro.core.pipeline.SolveStats`.
+  Plus the unified plane from :mod:`repro.obs`: ``service.metrics``
+  (Prometheus exposition via :meth:`SolveService.exposition`),
+  ``service.recorder`` (a bounded flight recorder of lifecycle events),
+  and — with ``ServiceConfig.trace`` on — ``service.trace_log``, holding
+  one end-to-end span tree per finished request, worker-process kernel
+  phases included.
 * **Resilience** — worker processes run under a supervisor
   (:mod:`repro.service.supervision`) that detects mid-flight crashes and
   respawns the pool with backed-off restarts; each request carries a
@@ -81,12 +87,18 @@ from repro.core.pipeline import (
 )
 from repro.core.strategies import CONTAINMENT_ROUTE, DATALOG_ROUTE
 from repro.exceptions import (
+    ResourceBudgetError,
     ServiceClosedError,
     ServiceOverloadedError,
     SolveTimeoutError,
     VocabularyError,
+    WorkerCrashedError,
 )
 from repro.kernel.estimate import estimate_cost, plan_instance
+from repro.obs.logs import get_logger
+from repro.obs.metrics import Counter, Gauge, default_registry
+from repro.obs.recorder import FlightRecorder
+from repro.obs.trace import Span, TraceLog, child_scope
 from repro.service.cache import ShardedStructureCache
 from repro.service.resilience import CircuitBreaker, FailureKind, classify
 from repro.service.stats import ServiceStats
@@ -97,6 +109,18 @@ from repro.structures.homomorphism import find_homomorphism
 from repro.structures.structure import Structure
 
 __all__ = ["Priority", "ServiceConfig", "SolveService"]
+
+_log = get_logger("service")
+
+
+def _env_trace_default() -> bool:
+    """``REPRO_TRACE=1`` turns per-request tracing on process-wide."""
+    value = os.environ.get("REPRO_TRACE", "0").strip().lower()
+    return value not in ("", "0", "false", "no", "off")
+
+
+#: Breaker states as gauge values (exposition can't carry enums).
+_BREAKER_STATE_VALUE = {"closed": 0, "half_open": 1, "open": 2}
 
 
 class Priority(IntEnum):
@@ -139,6 +163,12 @@ class ServiceConfig:
     ``breaker_cooldown`` seconds one probe request tests the route
     again.  ``worker_restart_backoff`` is the base of the supervisor's
     exponential respawn backoff after a worker-process crash.
+
+    ``trace=True`` opens a root span per admitted request and threads it
+    through every layer the request crosses — queue, retry loop, backend
+    dispatch (including the process-pool hop), planner decision, kernel
+    phases — with finished traces collected on ``service.trace_log``.
+    The default comes from the ``REPRO_TRACE`` environment variable.
     """
 
     thread_workers: int = 4
@@ -155,6 +185,7 @@ class ServiceConfig:
     breaker_threshold: int = 5
     breaker_cooldown: float = 1.0
     worker_restart_backoff: float = 0.05
+    trace: bool = field(default_factory=_env_trace_default)
 
 
 @dataclass
@@ -180,6 +211,8 @@ class _Request:
     #: fails it).  A priority bump re-pushes the request onto the heap,
     #: so stale heap entries are skipped via this flag (lazy deletion).
     dispatched: bool = False
+    #: The request's root trace span (``None`` with tracing off).
+    span: Span | None = None
 
 
 def _consume_exception(future: asyncio.Future) -> None:
@@ -219,6 +252,15 @@ class SolveService:
         #: The thread backend's pipeline, sharing the sharded cache.
         self.pipeline = SolverPipeline(cache=self.cache)
         self.stats = ServiceStats()
+        #: Finished request traces (bounded; populated with tracing on).
+        self.trace_log = TraceLog()
+        #: Lifecycle flight recorder: admissions, retries, breaker
+        #: transitions, worker crashes/restarts — dumped when debugging
+        #: an incident, asserted against in the chaos suite.
+        self.recorder = FlightRecorder()
+        #: The registry this service's scrape-time collector reports
+        #: into (the process-wide default, shared with kernel counters).
+        self.metrics = default_registry()
         #: One circuit breaker per degradable route.  While a breaker is
         #: open the route is served by its semantically equivalent
         #: fallback: "process" → the thread backend, "kernel" → the
@@ -228,9 +270,7 @@ class SolveService:
                 name,
                 threshold=self._config.breaker_threshold,
                 cooldown=self._config.breaker_cooldown,
-                on_transition=lambda n, s: (
-                    self.stats.note_breaker_transition(n, s.value)
-                ),
+                on_transition=self._note_breaker_transition,
             )
             for name in ("process", "kernel", "datalog")
         }
@@ -299,6 +339,7 @@ class SolveService:
         self._slots = asyncio.Semaphore(concurrency)
         self._work_available = asyncio.Event()
         self._capacity = asyncio.Condition()
+        self.metrics.register_collector(self._metrics_collector)
         self._running = True
         self._dispatch_task = asyncio.create_task(self._dispatch_loop())
         return self
@@ -369,6 +410,7 @@ class SolveService:
         if self._supervisor is not None:
             await self._supervisor.shutdown(wait=True)
             self._supervisor = None
+        self.metrics.unregister_collector(self._metrics_collector)
 
     async def __aenter__(self) -> "SolveService":
         return await self.start()
@@ -610,6 +652,25 @@ class SolveService:
         existing = self._inflight.get(key)
         if existing is not None:
             self.stats.coalesce_hits += 1
+            self.recorder.record(
+                "request.coalesced",
+                leader_seq=existing.seq,
+                priority=int(priority),
+            )
+            if existing.span is not None:
+                # A follower gets its own (tiny) trace that *links* to
+                # the leader's computation instead of duplicating it.
+                follower = Span.new_root(
+                    "request.coalesced",
+                    link_trace_id=existing.span.trace_id,
+                    link_span_id=existing.span.span_id,
+                )
+                existing.future.add_done_callback(
+                    lambda _future, span=follower: (
+                        span.end(),
+                        self.trace_log.append(span.export()),
+                    )
+                )
             # The shared computation must run as long as its most patient
             # waiter needs: an unbounded attacher lifts the deadline
             # entirely, a bounded one extends it (later wins).  The token
@@ -653,11 +714,24 @@ class SolveService:
             route=route,
         )
         request.future.add_done_callback(_consume_exception)
+        if config.trace:
+            request.span = Span.new_root(
+                "request",
+                seq=request.seq,
+                route=route if route is not None else "solve",
+                priority=int(priority),
+            )
         self._inflight[key] = request
         self._open_requests += 1
         self._queued += 1
         heapq.heappush(self._heap, (request.priority, request.seq, request))
         self.stats.note_queued(self._queued)
+        self.recorder.record(
+            "request.admitted",
+            seq=request.seq,
+            priority=int(priority),
+            queue_depth=self._queued,
+        )
         assert self._work_available is not None
         self._work_available.set()
         return self._wait(request.future, timeout)
@@ -722,6 +796,110 @@ class SolveService:
 
     def _note_worker_restart(self) -> None:
         self.stats.worker_restarts += 1
+        self.recorder.record(
+            "worker.restart", restarts=self.stats.worker_restarts
+        )
+
+    def _note_breaker_transition(self, name: str, state) -> None:
+        self.stats.note_breaker_transition(name, state.value)
+        self.recorder.record(
+            "breaker.transition", breaker=name, state=state.value
+        )
+
+    # -- telemetry -----------------------------------------------------------
+
+    def exposition(self) -> str:
+        """This process's metrics in Prometheus text format."""
+        return self.metrics.exposition()
+
+    def _metrics_collector(self):
+        """Scrape-time registry view of the service's stat bags.
+
+        Derives throwaway instruments from :class:`ServiceStats`, the
+        breakers, and the latency histograms, so those APIs keep their
+        shape while still showing up in one exposition.
+        """
+        stats = self.stats
+        requests = Counter(
+            "repro_service_requests_total",
+            "Request lifecycle outcomes of the solve service.",
+            ("outcome",),
+        )
+        for outcome, value in (
+            ("submitted", stats.submitted),
+            ("completed", stats.completed),
+            ("failed", stats.failed),
+            ("rejected", stats.rejected),
+            ("timeouts", stats.timeouts),
+            ("cancelled", stats.cancelled_solves),
+            ("retries", stats.retries),
+            ("rescued", stats.requests_rescued),
+            ("coalesced", stats.coalesce_hits),
+        ):
+            requests.inc(value, outcome=outcome)
+        queue = Gauge(
+            "repro_service_queue_depth",
+            "Requests admitted but not yet dispatched.",
+        )
+        queue.set(stats.queue_depth)
+        backends = Counter(
+            "repro_service_solves_total",
+            "Completed solves by executing backend.",
+            ("backend",),
+        )
+        backends.inc(stats.thread_solves, backend="thread")
+        backends.inc(stats.process_solves, backend="process")
+        cache = Counter(
+            "repro_service_cache_events_total",
+            "Structure-cache traffic folded from per-solve stats.",
+            ("event",),
+        )
+        cache.inc(stats.solve_cache_hits, event="hit")
+        cache.inc(stats.solve_cache_misses, event="miss")
+        breaker_state = Gauge(
+            "repro_service_breaker_state",
+            "Circuit-breaker state (0 closed, 1 half-open, 2 open).",
+            ("breaker",),
+        )
+        for name, breaker in self.breakers.items():
+            breaker_state.set(
+                _BREAKER_STATE_VALUE[breaker.state.value], breaker=name
+            )
+        transitions = Counter(
+            "repro_service_breaker_transitions_total",
+            "Circuit-breaker transitions by breaker and state entered.",
+            ("breaker", "state"),
+        )
+        for key, value in stats.breaker_transitions.items():
+            name, _, state = key.partition(":")
+            transitions.inc(value, breaker=name, state=state)
+        restarts = Counter(
+            "repro_service_worker_restarts_total",
+            "Process-pool rebuilds performed after worker crashes.",
+        )
+        restarts.inc(stats.worker_restarts)
+        latency = Gauge(
+            "repro_service_latency_ms",
+            "End-to-end latency percentiles per route (milliseconds).",
+            ("route", "quantile"),
+        )
+        for route, histogram in stats.route_latency.items():
+            if not histogram.count:
+                continue
+            p50, p95, p99 = histogram.percentiles(50, 95, 99)
+            latency.set(p50, route=route, quantile="0.5")
+            latency.set(p95, route=route, quantile="0.95")
+            latency.set(p99, route=route, quantile="0.99")
+        return (
+            requests,
+            queue,
+            backends,
+            cache,
+            breaker_state,
+            transitions,
+            restarts,
+            latency,
+        )
 
     def _plan_and_maybe_solve(
         self, request: _Request, options: dict, allow_process: bool
@@ -744,39 +922,49 @@ class SolveService:
         """
         with cancel_scope(request.token):
             request.token.check()
-            ctarget = self.cache.compiled_target(request.target)
             threshold = self._config.process_cost_threshold
-            cost = estimate_cost(
-                request.source, request.target, ctarget=ctarget
-            )
-            if options["plan"] or (allow_process and cost >= threshold):
-                # The width estimate (a greedy decomposition) is only
-                # worth computing when it can change something: the
-                # pipeline will follow the plan, or the raw search
-                # estimate would ship the request to a process and a
-                # cheap DP route could keep it here.  Below-threshold
-                # requests with planning off skip it — they are
-                # thread-solved either way, and the fixed registry's
-                # treewidth route decomposes through the pipeline cache.
-                cost = plan_instance(
-                    request.source,
-                    request.target,
-                    ctarget=ctarget,
-                    width_threshold=options["width_threshold"],
-                    pebble_k=options["try_pebble_refutation"],
-                    allow_pebble=options["plan"],
-                    datalog_k=options["try_canonical_datalog"],
-                ).predicted_cost
-            if allow_process and cost >= threshold:
+            with child_scope(request.span, "service.plan") as plan_span:
+                ctarget = self.cache.compiled_target(request.target)
+                cost = estimate_cost(
+                    request.source, request.target, ctarget=ctarget
+                )
+                if options["plan"] or (allow_process and cost >= threshold):
+                    # The width estimate (a greedy decomposition) is only
+                    # worth computing when it can change something: the
+                    # pipeline will follow the plan, or the raw search
+                    # estimate would ship the request to a process and a
+                    # cheap DP route could keep it here.  Below-threshold
+                    # requests with planning off skip it — they are
+                    # thread-solved either way, and the fixed registry's
+                    # treewidth route decomposes through the pipeline cache.
+                    cost = plan_instance(
+                        request.source,
+                        request.target,
+                        ctarget=ctarget,
+                        width_threshold=options["width_threshold"],
+                        pebble_k=options["try_pebble_refutation"],
+                        allow_pebble=options["plan"],
+                        datalog_k=options["try_canonical_datalog"],
+                    ).predicted_cost
+                ship = allow_process and cost >= threshold
+                if plan_span is not None:
+                    plan_span.set(
+                        predicted_cost=cost,
+                        backend="process" if ship else "thread",
+                    )
+            if ship:
                 return "process", cost, None
-            solution = self.pipeline.solve(
-                request.source, request.target, **options
-            )
+            with child_scope(request.span, "backend.thread"):
+                solution = self.pipeline.solve(
+                    request.source, request.target, **options
+                )
             return "thread", cost, solution
 
     def _thread_solve(self, request: _Request, options: dict) -> Solution:
         """Runs on a worker thread: the process-degraded fallback solve."""
-        with cancel_scope(request.token):
+        with cancel_scope(request.token), child_scope(
+            request.span, "backend.thread", degraded="process-breaker"
+        ):
             return self.pipeline.solve(
                 request.source, request.target, **options
             )
@@ -789,7 +977,9 @@ class SolveService:
         no bitsets), so it keeps answering — exactly, just slower — while
         the kernel breaker is open.
         """
-        with cancel_scope(request.token):
+        with cancel_scope(request.token), child_scope(
+            request.span, "backend.legacy", degraded="kernel-breaker"
+        ):
             assignment = find_homomorphism(
                 request.source, request.target, engine="legacy"
             )
@@ -826,14 +1016,41 @@ class SolveService:
                 raise SolveTimeoutError(
                     "deadline expired before process dispatch"
                 )
-            solution = await self._supervisor.run(
-                self._loop,
-                process_solve,
-                request.source,
-                request.target,
-                options,
-                remaining,
+            # Spans don't pickle; only the coordinates cross the pool
+            # boundary.  The worker opens a remote span under them and
+            # ships its finished subtree back on ``stats.trace``, which
+            # is grafted here — one trace id across both processes.
+            dispatch_span = (
+                request.span.child("backend.process")
+                if request.span is not None
+                else None
             )
+            trace_ctx = (
+                (dispatch_span.trace_id, dispatch_span.span_id)
+                if dispatch_span is not None
+                else None
+            )
+            try:
+                solution = await self._supervisor.run(
+                    self._loop,
+                    process_solve,
+                    request.source,
+                    request.target,
+                    options,
+                    remaining,
+                    trace_ctx,
+                )
+            except BaseException as exc:
+                if dispatch_span is not None:
+                    dispatch_span.set(error=type(exc).__name__)
+                    dispatch_span.end()
+                raise
+            if dispatch_span is not None:
+                stats = solution.stats
+                if stats is not None and stats.trace:
+                    for exported in stats.trace:
+                        dispatch_span.add_exported(exported)
+                dispatch_span.end()
             self.breakers["process"].record_success()
             return solution, "process"
         # Breaker open: same question, answered on the thread backend.
@@ -860,6 +1077,9 @@ class SolveService:
         for attempt in range(attempts):
             if attempt:
                 self.stats.retries += 1
+                self.recorder.record(
+                    "request.retry", seq=request.seq, attempt=attempt
+                )
             attempt_options = options
             if (
                 options.get("try_canonical_datalog") is not None
@@ -883,6 +1103,20 @@ class SolveService:
                     )
             except Exception as exc:  # noqa: BLE001 — classified below
                 kind, breaker_name = classify(exc)
+                if isinstance(exc, WorkerCrashedError):
+                    self.recorder.record(
+                        "worker.crash", seq=request.seq, error=str(exc)
+                    )
+                    _log.warning(
+                        "worker crashed under request %d: %s",
+                        request.seq,
+                        exc,
+                        extra={"event": "worker.crash", "seq": request.seq},
+                    )
+                elif isinstance(exc, ResourceBudgetError):
+                    self.recorder.record(
+                        "budget.trip", seq=request.seq, error=str(exc)
+                    )
                 if breaker_name is not None:
                     breakers[breaker_name].record_failure()
                 if kind is FailureKind.PERMANENT:
@@ -907,6 +1141,13 @@ class SolveService:
 
     async def _execute(self, request: _Request) -> None:
         assert self._loop is not None and self._thread_pool is not None
+        span = request.span
+        if span is not None:
+            span.set(
+                queue_ms=round(
+                    (time.perf_counter() - request.enqueued_at) * 1000, 4
+                )
+            )
         try:
             delay = faultinject.delay_seconds("service.dispatch.delay")
             if delay > 0.0:
@@ -916,6 +1157,19 @@ class SolveService:
             self.stats.note_completed(
                 solution, latency_ms, backend, route=request.route
             )
+            if span is not None:
+                span.set(
+                    outcome="completed",
+                    backend=backend,
+                    strategy=solution.strategy,
+                    latency_ms=round(latency_ms, 4),
+                )
+            self.recorder.record(
+                "request.completed",
+                seq=request.seq,
+                backend=backend,
+                latency_ms=round(latency_ms, 3),
+            )
             if not request.future.done():
                 request.future.set_result(solution)
         except SolveTimeoutError as exc:
@@ -924,13 +1178,26 @@ class SolveService:
             # the instance: the waiters see a timeout, and nothing about
             # it outlives the in-flight window.
             self.stats.cancelled_solves += 1
+            if span is not None:
+                span.set(outcome="timeout")
+            self.recorder.record(
+                "request.timeout", seq=request.seq, error=str(exc)
+            )
             if not request.future.done():
                 request.future.set_exception(exc)
         except Exception as exc:  # noqa: BLE001 — forwarded to the waiters
             self.stats.failed += 1
+            if span is not None:
+                span.set(outcome="error", error=type(exc).__name__)
+            self.recorder.record(
+                "request.failed", seq=request.seq, error=repr(exc)
+            )
             if not request.future.done():
                 request.future.set_exception(exc)
         finally:
+            if span is not None:
+                span.end()
+                self.trace_log.append(span.export())
             self._inflight.pop(request.key, None)
             self._open_requests -= 1
             assert self._slots is not None and self._capacity is not None

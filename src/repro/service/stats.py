@@ -16,73 +16,17 @@ need no locking.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 
 from repro.core.pipeline import Solution
 from repro.core.strategies import base_route, service_route_names
 
+# LatencyHistogram's home moved to the observability plane; this
+# re-export keeps the long-standing ``repro.service.stats`` (and
+# ``repro.service``) import paths working.
+from repro.obs.metrics import LatencyHistogram
+
 __all__ = ["LatencyHistogram", "ServiceStats"]
-
-
-class LatencyHistogram:
-    """Latency samples (milliseconds) with nearest-rank percentiles.
-
-    Sample storage is capped: once ``max_samples`` is reached, new
-    samples overwrite old ones round-robin, bounding memory while keeping
-    the percentiles tracking recent traffic.  The total count keeps
-    counting past the cap.
-    """
-
-    DEFAULT_MAX_SAMPLES = 65536
-
-    __slots__ = ("_samples", "_max_samples", "_next", "count", "total_ms")
-
-    def __init__(self, max_samples: int = DEFAULT_MAX_SAMPLES) -> None:
-        if max_samples < 1:
-            raise ValueError("max_samples must be positive")
-        self._samples: list[float] = []
-        self._max_samples = max_samples
-        self._next = 0
-        self.count = 0
-        self.total_ms = 0.0
-
-    def record(self, latency_ms: float) -> None:
-        self.count += 1
-        self.total_ms += latency_ms
-        if len(self._samples) < self._max_samples:
-            self._samples.append(latency_ms)
-        else:
-            self._samples[self._next] = latency_ms
-            self._next = (self._next + 1) % self._max_samples
-
-    def percentiles(self, *qs: float) -> tuple[float, ...]:
-        """Nearest-rank percentiles (``0 < q <= 100``), one shared sort."""
-        if not self._samples:
-            return tuple(0.0 for _ in qs)
-        ordered = sorted(self._samples)
-        return tuple(
-            ordered[max(1, math.ceil(q / 100.0 * len(ordered))) - 1]
-            for q in qs
-        )
-
-    def percentile(self, q: float) -> float:
-        """The nearest-rank ``q``-th percentile (``0 < q <= 100``)."""
-        return self.percentiles(q)[0]
-
-    @property
-    def mean_ms(self) -> float:
-        return self.total_ms / self.count if self.count else 0.0
-
-    def snapshot(self) -> dict[str, float]:
-        p50, p95, p99 = self.percentiles(50, 95, 99)
-        return {
-            "count": self.count,
-            "mean_ms": round(self.mean_ms, 4),
-            "p50_ms": round(p50, 4),
-            "p95_ms": round(p95, 4),
-            "p99_ms": round(p99, 4),
-        }
 
 
 @dataclass

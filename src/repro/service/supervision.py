@@ -42,9 +42,12 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Callable
 
 from repro.exceptions import WorkerCrashedError
+from repro.obs.logs import get_logger
 from repro.service.workers import worker_initializer, worker_pid
 
 __all__ = ["SupervisedProcessPool"]
+
+_log = get_logger("service.supervision")
 
 
 class SupervisedProcessPool:
@@ -193,6 +196,19 @@ class SupervisedProcessPool:
                     "degrading to the thread backend"
                 )
             self.restarts += 1
+            _log.warning(
+                "process pool respawned after crash "
+                "(generation %d, streak %d, backoff %.3fs)",
+                self.generation,
+                streak,
+                delay,
+                extra={
+                    "event": "worker.restart",
+                    "generation": self.generation,
+                    "crash_streak": streak,
+                    "backoff_s": delay,
+                },
+            )
             if self.on_restart is not None:
                 self.on_restart()
             return self._pool, self.generation

@@ -19,10 +19,12 @@ which folds the stats into its service-wide counters.
 from __future__ import annotations
 
 import os
+from dataclasses import replace
 
 from repro import faultinject
 from repro.core.cancellation import Deadline
 from repro.core.pipeline import Solution, SolverPipeline, StructureCache
+from repro.obs.trace import Span, span_scope
 from repro.structures.structure import Structure
 
 __all__ = ["process_solve", "worker_pid", "worker_initializer"]
@@ -58,6 +60,7 @@ def process_solve(
     target: Structure,
     options: dict,
     deadline_remaining: float | None = None,
+    trace_ctx: tuple[str, str] | None = None,
 ) -> Solution:
     """Solve one instance on this worker's pipeline.
 
@@ -70,6 +73,13 @@ def process_solve(
     dispatch — a patient coalesced waiter attaching — does not reach a
     running worker; the service retries the solve with the new budget
     when this one times out.)
+
+    ``trace_ctx`` is the service-side trace coordinates
+    ``(trace_id, parent_span_id)``.  Spans are process-local objects, so
+    only the ids cross the pickle boundary: the worker opens a remote
+    ``worker.solve`` span under those coordinates, solves beneath it, and
+    ships the finished subtree back as plain dicts on ``stats.trace`` for
+    the service to graft into the request's span tree.
     """
     faultinject.kill_process("worker.kill.before")
     faultinject.kill_process("worker.kill.during", delay_range=(0.005, 0.05))
@@ -78,7 +88,24 @@ def process_solve(
         if deadline_remaining is not None
         else None
     )
-    return _get_pipeline().solve(source, target, deadline=deadline, **options)
+    pipeline = _get_pipeline()
+    if trace_ctx is None:
+        return pipeline.solve(source, target, deadline=deadline, **options)
+    trace_id, parent_id = trace_ctx
+    root = Span.new_remote("worker.solve", trace_id, parent_id)
+    root.set(pid=os.getpid())
+    try:
+        with span_scope(root):
+            solution = pipeline.solve(
+                source, target, deadline=deadline, **options
+            )
+    finally:
+        root.end()
+    if solution.stats is None:
+        return solution
+    return replace(
+        solution, stats=replace(solution.stats, trace=(root.export(),))
+    )
 
 
 def worker_pid() -> int:

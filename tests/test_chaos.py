@@ -233,6 +233,18 @@ class TestProcessChaos:
                 for index, (source, target) in enumerate(corpus):
                     solution = await service.submit(source, target)
                     assert solution.exists == expected[index]
+                # The flight recorder saw the whole storm: every pool
+                # rebuild was preceded by an observed crash, every
+                # restart and breaker transition left an event.
+                counts = service.recorder.counts()
+                stats = service.stats
+                assert counts.get("worker.crash", 0) >= stats.worker_restarts
+                assert (
+                    counts.get("worker.restart", 0) == stats.worker_restarts
+                )
+                assert counts.get("breaker.transition", 0) == sum(
+                    stats.breaker_transitions.values()
+                )
 
         faultinject.install(plan, env=True)
         try:
@@ -350,6 +362,17 @@ class TestBreakerDegradation:
                 assert stats.worker_restarts == 1
                 assert stats.degraded.get("process", 0) == 1
                 assert stats.breaker_states.get("process") == "open"
+                # The recorder pins the lifecycle event-for-event: two
+                # crashes, one restart, one breaker transition, a retry
+                # per re-attempt, and the final completion.
+                counts = service.recorder.counts()
+                assert counts.get("worker.crash", 0) == 2
+                assert counts.get("worker.restart", 0) == 1
+                assert counts.get("request.retry", 0) == 2
+                assert counts.get("request.completed", 0) == 1
+                assert counts.get("breaker.transition", 0) == sum(
+                    stats.breaker_transitions.values()
+                )
 
         faultinject.install(
             FaultPlan(2, {"worker.kill.before": 1.0}), env=True
