@@ -200,12 +200,29 @@ class StructureCache:
     otherwise both compute it; per-cache serialization is what the
     service's *sharded* cache (:class:`repro.service.ShardedStructureCache`)
     spreads across independent shards.
+
+    With a persistent :class:`repro.persist.ArtifactStore` attached the
+    cache becomes the L1 of a two-level hierarchy: a miss first consults
+    the store (a verified record decodes in linear time — no
+    recompilation), and a computed result is written through so the
+    *next* process lifetime finds it.  The store is consulted only on
+    misses, so the hot path is unchanged; a detached cache (``store``
+    left ``None``) behaves exactly as before.
     """
 
     #: Default per-analysis entry bound; old entries are evicted LRU-first.
     DEFAULT_MAXSIZE = 4096
 
-    def __init__(self, maxsize: int = DEFAULT_MAXSIZE) -> None:
+    #: Cache table per persistent artifact kind (the codec's vocabulary).
+    _KIND_TABLES = {
+        "classification": "_classifications",
+        "decomposition": "_decompositions",
+        "ctarget": "_compiled_targets",
+    }
+
+    def __init__(
+        self, maxsize: int = DEFAULT_MAXSIZE, *, store=None
+    ) -> None:
         if maxsize < 1:
             raise ValueError("maxsize must be positive")
         self._maxsize = maxsize
@@ -215,6 +232,31 @@ class StructureCache:
         self._compiled_targets: dict[str, CompiledTarget] = {}
         self._hits = 0
         self._misses = 0
+        #: The persistent L2 (duck-typed: ``get``/``put``), or ``None``.
+        self._store = store
+
+    def attach_store(self, store) -> None:
+        """Attach (or with ``None`` detach) the persistent L2 store."""
+        with self._lock:
+            self._store = store
+
+    def seed(self, kind: str, fingerprint: str, value) -> None:
+        """Insert a recovered artifact directly (store warm-up path).
+
+        No counters move: seeding is neither a hit nor a miss, and a
+        seeded entry is indistinguishable from a computed one afterwards.
+        Unknown kinds are ignored so a newer store can warm an older
+        process.
+        """
+        table_name = self._KIND_TABLES.get(kind)
+        if table_name is None:
+            return
+        with self._lock:
+            table = getattr(self, table_name)
+            if fingerprint not in table:
+                if len(table) >= self._maxsize:
+                    table.pop(next(iter(table)))
+                table[fingerprint] = value
 
     @property
     def stats(self) -> CacheStats:
@@ -238,13 +280,27 @@ class StructureCache:
             self._hits = 0
             self._misses = 0
 
-    def _lookup(self, table: dict, key: str, compute, tally: CacheTally | None):
+    def _lookup(
+        self,
+        table: dict,
+        key: str,
+        compute,
+        tally: CacheTally | None,
+        kind: str | None = None,
+    ):
         """LRU lookup: hits move to the back, inserts evict the front.
 
         Python dicts preserve insertion order, so the front of the dict is
         the least-recently-used entry; bounding each table keeps a
         long-lived process (the north-star serving workload) from
         accumulating one decomposition per distinct source forever.
+
+        An L1 miss with a store attached reads through it before
+        computing (a verified record is decoded, not recompiled —
+        counted on the store's own hit counter) and writes a computed
+        result through after.  Either way the caller's tally sees an L1
+        miss: the tally answers "did *this cache* have it", which stays
+        truthful across restarts.
         """
         with self._lock:
             try:
@@ -258,10 +314,20 @@ class StructureCache:
                 self._misses += 1
                 if tally is not None:
                     tally.misses += 1
+                store = self._store
+                if store is not None and kind is not None:
+                    stored = store.get(kind, key)
+                    if stored is not None:
+                        if len(table) >= self._maxsize:
+                            table.pop(next(iter(table)))
+                        table[key] = stored
+                        return stored
                 result = compute()
                 if len(table) >= self._maxsize:
                     table.pop(next(iter(table)))
                 table[key] = result
+                if store is not None and kind is not None:
+                    store.put(kind, key, result)
                 return result
 
     def classification(
@@ -273,6 +339,7 @@ class StructureCache:
             canonical_fingerprint(target),
             lambda: classify_structure(target),
             tally,
+            kind="classification",
         )
 
     def decomposition(
@@ -284,6 +351,7 @@ class StructureCache:
             canonical_fingerprint(source),
             lambda: cached_decomposition(source),
             tally,
+            kind="decomposition",
         )
 
     def compiled_target(
@@ -295,6 +363,7 @@ class StructureCache:
             canonical_fingerprint(target),
             lambda: compile_target(target),
             tally,
+            kind="ctarget",
         )
 
 

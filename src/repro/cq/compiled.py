@@ -127,6 +127,29 @@ class CompiledQuery:
         """The canonical database over the query's own vocabulary."""
         return self.canonical_for(None)
 
+    def __getstate__(self) -> dict:
+        """Pickle the artifact whole: query, fingerprint, derived memos.
+
+        The carried query pickles *without* its ``_compiled`` memo (see
+        ``ConjunctiveQuery.__getstate__``), breaking the cycle; the
+        bodies/canonicals dictionaries carry their structures through
+        ``Structure.__getstate__`` — mathematical content plus
+        fingerprint, so a restored canonical database still keys into
+        the fingerprint-routed caches (and the artifact store) for its
+        kernel compilation.  One serializer — plain pickle — covers both
+        the pool-payload and store-record paths.
+        """
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __setstate__(self, state: dict) -> None:
+        for slot in self.__slots__:
+            object.__setattr__(self, slot, state[slot])
+        # Re-attach as the query's memo: compile_query() on the restored
+        # query returns this artifact instead of recompiling, exactly as
+        # it would have on the writing process.
+        if self.query._compiled is None:
+            self.query._compiled = self
+
     def __repr__(self) -> str:
         return (
             f"CompiledQuery(|head|={self.query.arity}, "

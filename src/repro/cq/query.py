@@ -161,6 +161,31 @@ class ConjunctiveQuery:
         """Encoding size: head width plus total body cells."""
         return len(self._head) + sum(atom.arity + 1 for atom in self._atoms)
 
+    # -- pickling ----------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Pickle the query's content, not the compiled-artifact memo.
+
+        Mirrors ``Structure.__getstate__``: the ``_compiled`` memo holds
+        the full :class:`repro.cq.compiled.CompiledQuery` (canonical
+        databases included), which receivers rebuild — or re-attach, when
+        the artifact itself is what is being unpickled — through their
+        own caches.
+        """
+        return {
+            "_name": self._name,
+            "_head": self._head,
+            "_atoms": self._atoms,
+            "_vocabulary": self._vocabulary,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self._name = state["_name"]
+        self._head = state["_head"]
+        self._atoms = state["_atoms"]
+        self._vocabulary = state["_vocabulary"]
+        self._compiled = None
+
     # -- protocol ----------------------------------------------------------------
 
     def __iter__(self) -> Iterator[Atom]:

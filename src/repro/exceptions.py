@@ -104,3 +104,24 @@ class WorkerCrashedError(ServiceError):
     the pool's restart budget is exhausted.  Retryable by construction —
     the crash says nothing about the instance being solved.
     """
+
+
+class ArtifactStoreError(ReproError):
+    """The persistent artifact store cannot be opened or written.
+
+    Raised for environment-level problems — another writer holds the
+    single-writer lock, the directory is not writable — never for
+    corrupted content, which the store recovers from silently (see
+    :class:`StoreCorruptionError` for the read-side contract).
+    """
+
+
+class StoreCorruptionError(ArtifactStoreError):
+    """A store record failed its integrity check.
+
+    Raised internally when a record is torn, fails its SHA-256, or
+    decodes to the wrong artifact type.  Callers of the public store API
+    never see it: ``ArtifactStore.get`` converts it to a miss (the
+    record is dropped and quarantined; the caller recompiles), which is
+    exactly the "never serve a record that fails its checksum" rule.
+    """

@@ -29,6 +29,7 @@ from __future__ import annotations
 from typing import Hashable
 
 from repro import faultinject
+from repro.obs.metrics import kcount
 from repro.structures.structure import Structure
 
 __all__ = ["CompiledSource", "CompiledTarget", "compile_source", "compile_target"]
@@ -80,6 +81,11 @@ class CompiledTarget:
     )
 
     def __init__(self, structure: Structure) -> None:
+        # Counted here (not in compile_target) so the per-solve kernel
+        # bag distinguishes "built the bitset index" from "reused a
+        # memo, cache entry, or store record" — the zero-recompilation
+        # assertion of the warm-restart tests reads this counter.
+        kcount("compile.targets")
         self.structure = structure
         self.values: tuple[Element, ...] = structure.sorted_universe
         self.value_index: dict[Element, int] = {
@@ -111,6 +117,29 @@ class CompiledTarget:
             )
             self.position_masks[symbol.name] = tuple(masks)
             self.all_tuples_masks[symbol.name] = (1 << len(rows)) - 1
+
+    def __getstate__(self) -> dict:
+        """Pickle every slot verbatim — this *is* the compiled form.
+
+        The carried ``structure`` pickles through its own
+        ``__getstate__`` (mathematical content + fingerprint, memos
+        dropped), which also breaks the reference cycle through the
+        structure's ``_compiled_target`` memo.  This pair makes plain
+        pickle the one canonical serializer for compiled targets: pool
+        payloads and persistent store records share it byte-discipline
+        and all, so the two paths cannot drift.
+        """
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __setstate__(self, state: dict) -> None:
+        for slot in self.__slots__:
+            object.__setattr__(self, slot, state[slot])
+        # Re-attach to the carried structure's memo slot: a restored
+        # artifact must behave exactly like a freshly compiled one, so
+        # compile_target() on its structure finds this object instead
+        # of rebuilding (the zero-recompilation warm-restart property).
+        if self.structure._compiled_target is None:
+            self.structure._compiled_target = self
 
     def decode(self, mask: int) -> set[Element]:
         """The set of elements a domain mask denotes."""
@@ -165,6 +194,7 @@ class CompiledSource:
     )
 
     def __init__(self, structure: Structure) -> None:
+        kcount("compile.sources")
         self.structure = structure
         self.variables: tuple[Element, ...] = structure.sorted_universe
         self.var_index: dict[Element, int] = {
@@ -197,6 +227,16 @@ class CompiledSource:
         )
         #: Memo for repro.kernel.estimate.gaifman_degree_stats.
         self._gaifman_stats: tuple[int, float] | None = None
+
+    def __getstate__(self) -> dict:
+        """Slot-verbatim pickling (see :meth:`CompiledTarget.__getstate__`)."""
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __setstate__(self, state: dict) -> None:
+        for slot in self.__slots__:
+            object.__setattr__(self, slot, state[slot])
+        if self.structure._compiled_source is None:
+            self.structure._compiled_source = self
 
     def __repr__(self) -> str:
         return (

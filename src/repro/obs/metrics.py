@@ -421,6 +421,14 @@ KERNEL_COUNTERS: dict[str, tuple[str, str]] = {
         "repro_deadline_checks_total",
         "Cooperative cancellation checks performed inside kernel loops.",
     ),
+    "compile.targets": (
+        "repro_kernel_compile_targets_total",
+        "Target structures compiled into bitset form (cache/store misses).",
+    ),
+    "compile.sources": (
+        "repro_kernel_compile_sources_total",
+        "Source structures compiled into constraint form.",
+    ),
 }
 
 

@@ -1,0 +1,215 @@
+"""The on-disk format of the artifact store: header, records, scanning.
+
+The store file is a versioned header followed by a flat sequence of
+self-checking records — the simplest layout that is *append-friendly*
+(publishing an artifact is one positioned write at the tail) while still
+letting recovery decide, byte by byte, where the trustworthy prefix
+ends::
+
+    ┌──────────────────────────── header (16 bytes) ───────────────────┐
+    │ magic "RPRSTORE" │ version u16 │ flags u16 │ reserved (4 bytes)  │
+    ├──────────────────────────── record  (repeated) ──────────────────┤
+    │ kind_len u16 │ key_len u16 │ payload_len u32                     │
+    │ sha256(kind ‖ key ‖ payload)                  (32 bytes)         │
+    │ kind (utf-8) │ key (utf-8) │ payload (opaque bytes)              │
+    └──────────────────────────────────────────────────────────────────┘
+
+All integers are big-endian.  Two failure modes are distinguishable and
+both are recoverable by truncating to the last good record boundary:
+
+* **torn write** — the file ends mid-record (a writer was SIGKILLed
+  between the length prefix and the last payload byte).  Detected by a
+  promised-length shortfall against EOF.
+* **bit flip / overwrite** — the record is complete but its SHA-256
+  does not match.  Detected before a single payload byte is decoded;
+  a record failing its checksum is *never* served.
+
+Resynchronisation past a corrupt record is deliberately not attempted:
+a flipped bit inside a length field would make every later "record
+boundary" a guess, and a store that serves guessed artifacts is worse
+than a cold cache.  Recovery keeps the verified prefix (warm) and
+quarantines the tail (cold — recompilation covers it).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass
+from typing import BinaryIO
+
+from repro.exceptions import StoreCorruptionError
+
+__all__ = [
+    "HEADER",
+    "HEADER_SIZE",
+    "MAGIC",
+    "RECORD_PREFIX",
+    "VERSION",
+    "RecordInfo",
+    "ScanReport",
+    "encode_record",
+    "read_record_at",
+    "scan_log",
+]
+
+MAGIC = b"RPRSTORE"
+VERSION = 1
+
+_HEADER_STRUCT = struct.Struct("!8sHH4x")
+HEADER_SIZE = _HEADER_STRUCT.size  # 16
+HEADER = _HEADER_STRUCT.pack(MAGIC, VERSION, 0)
+
+_PREFIX_STRUCT = struct.Struct("!HHI")
+_DIGEST_SIZE = 32
+#: Fixed bytes in front of every record's variable part.
+RECORD_PREFIX = _PREFIX_STRUCT.size + _DIGEST_SIZE  # 40
+
+#: Sanity bounds applied before trusting a length prefix: a corrupt
+#: prefix must not send the scanner on a gigabyte-sized goose chase.
+MAX_KIND_LEN = 64
+MAX_KEY_LEN = 1024
+MAX_PAYLOAD_LEN = 1 << 31
+
+
+@dataclass(frozen=True)
+class RecordInfo:
+    """One verified record's coordinates inside the log."""
+
+    offset: int
+    kind: str
+    key: str
+    length: int
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.length
+
+
+@dataclass(frozen=True)
+class ScanReport:
+    """What a full scan of the log found.
+
+    ``good_end`` is the offset one past the last verified record — the
+    truncation point recovery uses.  ``failure`` is ``None`` for a clean
+    log, else one of ``"bad-header"``, ``"torn-record"``,
+    ``"bad-length"``, or ``"checksum"`` with ``failure_offset`` naming
+    where trust ended.
+    """
+
+    records: tuple[RecordInfo, ...]
+    good_end: int
+    failure: str | None = None
+    failure_offset: int | None = None
+
+    @property
+    def clean(self) -> bool:
+        return self.failure is None
+
+
+def encode_record(kind: str, key: str, payload: bytes) -> bytes:
+    """One self-checking record, ready to append."""
+    kind_b = kind.encode()
+    key_b = key.encode()
+    if len(kind_b) > MAX_KIND_LEN:
+        raise ValueError(f"artifact kind too long: {kind!r}")
+    if len(key_b) > MAX_KEY_LEN:
+        raise ValueError(f"artifact key too long ({len(key_b)} bytes)")
+    if len(payload) > MAX_PAYLOAD_LEN:
+        raise ValueError(f"artifact payload too large ({len(payload)} bytes)")
+    digest = hashlib.sha256(kind_b + key_b + payload).digest()
+    return (
+        _PREFIX_STRUCT.pack(len(kind_b), len(key_b), len(payload))
+        + digest
+        + kind_b
+        + key_b
+        + payload
+    )
+
+
+def _parse_record(
+    blob: bytes, offset: int
+) -> tuple[str, str, bytes, int] | str:
+    """Parse one record starting at ``offset`` of ``blob``.
+
+    Returns ``(kind, key, payload, end_offset)``, or a failure label
+    (the :class:`ScanReport` vocabulary) when the bytes cannot be a
+    trustworthy record.
+    """
+    if offset + RECORD_PREFIX > len(blob):
+        return "torn-record"
+    kind_len, key_len, payload_len = _PREFIX_STRUCT.unpack_from(blob, offset)
+    if (
+        kind_len == 0
+        or kind_len > MAX_KIND_LEN
+        or key_len > MAX_KEY_LEN
+        or payload_len > MAX_PAYLOAD_LEN
+    ):
+        return "bad-length"
+    body_start = offset + RECORD_PREFIX
+    end = body_start + kind_len + key_len + payload_len
+    if end > len(blob):
+        return "torn-record"
+    digest = blob[offset + _PREFIX_STRUCT.size : body_start]
+    body = blob[body_start:end]
+    if hashlib.sha256(body).digest() != digest:
+        return "checksum"
+    kind_b = body[:kind_len]
+    key_b = body[kind_len : kind_len + key_len]
+    try:
+        kind = kind_b.decode()
+        key = key_b.decode()
+    except UnicodeDecodeError:
+        return "checksum"
+    return kind, key, bytes(body[kind_len + key_len :]), end
+
+
+def scan_log(blob: bytes) -> ScanReport:
+    """Verify ``blob`` record by record; stop at the first broken one."""
+    if len(blob) < HEADER_SIZE or blob[:HEADER_SIZE] != HEADER:
+        return ScanReport((), HEADER_SIZE, "bad-header", 0)
+    records: list[RecordInfo] = []
+    offset = HEADER_SIZE
+    while offset < len(blob):
+        parsed = _parse_record(blob, offset)
+        if isinstance(parsed, str):
+            return ScanReport(tuple(records), offset, parsed, offset)
+        kind, key, payload, end = parsed
+        records.append(RecordInfo(offset, kind, key, end - offset))
+        offset = end
+    return ScanReport(tuple(records), offset)
+
+
+def read_record_at(fh: BinaryIO, offset: int) -> tuple[str, str, bytes]:
+    """Re-read and re-verify one record (the serving path).
+
+    The scan at open time verified this offset once, but the file can
+    rot *after* open — the contract is that a record failing its
+    checksum is never served, so the digest is checked again on every
+    read.  Raises :class:`StoreCorruptionError` on any mismatch.
+    """
+    fh.seek(offset)
+    prefix = fh.read(RECORD_PREFIX)
+    if len(prefix) < RECORD_PREFIX:
+        raise StoreCorruptionError(f"record at offset {offset} is torn")
+    kind_len, key_len, payload_len = _PREFIX_STRUCT.unpack_from(prefix, 0)
+    if (
+        kind_len == 0
+        or kind_len > MAX_KIND_LEN
+        or key_len > MAX_KEY_LEN
+        or payload_len > MAX_PAYLOAD_LEN
+    ):
+        raise StoreCorruptionError(
+            f"record at offset {offset} has an implausible length prefix"
+        )
+    digest = prefix[_PREFIX_STRUCT.size :]
+    body = fh.read(kind_len + key_len + payload_len)
+    if len(body) < kind_len + key_len + payload_len:
+        raise StoreCorruptionError(f"record at offset {offset} is torn")
+    if hashlib.sha256(body).digest() != digest:
+        raise StoreCorruptionError(
+            f"record at offset {offset} fails its checksum"
+        )
+    kind = body[:kind_len].decode()
+    key = body[kind_len : kind_len + key_len].decode()
+    return kind, key, bytes(body[kind_len + key_len :])

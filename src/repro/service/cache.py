@@ -65,8 +65,25 @@ class ShardedStructureCache:
 
     def shard_for(self, structure: Structure) -> StructureCache:
         """The shard responsible for ``structure`` (fingerprint-routed)."""
-        fingerprint = canonical_fingerprint(structure)
+        return self.shard_for_fingerprint(canonical_fingerprint(structure))
+
+    def shard_for_fingerprint(self, fingerprint: str) -> StructureCache:
+        """The shard a raw fingerprint routes to (store warm-up path)."""
         return self._shards[int(fingerprint[:8], 16) % len(self._shards)]
+
+    def attach_store(self, store) -> None:
+        """Attach (or detach, with ``None``) a persistent L2 store.
+
+        Every shard reads through / writes through the same store — the
+        store is internally locked, and cross-shard traffic only meets
+        there on L1 misses.
+        """
+        for shard in self._shards:
+            shard.attach_store(store)
+
+    def seed(self, kind: str, fingerprint: str, value) -> None:
+        """Insert a recovered artifact into its fingerprint-routed shard."""
+        self.shard_for_fingerprint(fingerprint).seed(kind, fingerprint, value)
 
     # -- the StructureCache surface ------------------------------------------
 

@@ -75,7 +75,9 @@ from enum import IntEnum
 from typing import TYPE_CHECKING, Awaitable, Iterable
 
 if TYPE_CHECKING:  # pragma: no cover — annotation-only import
+    from repro.cq.compiled import CompiledQuery
     from repro.cq.query import ConjunctiveQuery
+    from repro.persist import ArtifactStore
 
 from repro import faultinject
 from repro.core.cancellation import CancellationToken, Deadline, cancel_scope
@@ -117,6 +119,23 @@ def _env_trace_default() -> bool:
     """``REPRO_TRACE=1`` turns per-request tracing on process-wide."""
     value = os.environ.get("REPRO_TRACE", "0").strip().lower()
     return value not in ("", "0", "false", "no", "off")
+
+
+def _env_store_default() -> str | None:
+    """``REPRO_STORE=<dir>`` points the service at a persistent store."""
+    value = os.environ.get("REPRO_STORE", "").strip()
+    return value or None
+
+
+def _env_store_max_bytes_default() -> int | None:
+    """``REPRO_STORE_MAX_BYTES=<n>`` bounds the store log (compaction)."""
+    value = os.environ.get("REPRO_STORE_MAX_BYTES", "").strip()
+    if not value:
+        return None
+    try:
+        return int(value)
+    except ValueError:
+        return None
 
 
 #: Breaker states as gauge values (exposition can't carry enums).
@@ -169,6 +188,21 @@ class ServiceConfig:
     dispatch (including the process-pool hop), planner decision, kernel
     phases — with finished traces collected on ``service.trace_log``.
     The default comes from the ``REPRO_TRACE`` environment variable.
+
+    The persistence knobs: ``store_path`` (default: the ``REPRO_STORE``
+    environment variable) opens a crash-safe
+    :class:`~repro.persist.ArtifactStore` there at startup — the service
+    process writes, worker processes read the same log, and a restarted
+    service starts *warm*: with ``store_warm`` (default) every persisted
+    structure artifact is seeded into the sharded cache and every
+    compiled query into the containment fast path before the first
+    request is admitted.  ``store_max_bytes`` (``REPRO_STORE_MAX_BYTES``)
+    bounds the log via newest-first compaction.  ``drain_timeout`` is
+    :meth:`SolveService.drain`'s default grace period before in-flight
+    solves are cooperatively cancelled.  A store that cannot be opened
+    (writer lock held, unwritable path) logs a warning and the service
+    runs store-less — persistence is an accelerator, never a
+    prerequisite for answering.
     """
 
     thread_workers: int = 4
@@ -186,6 +220,12 @@ class ServiceConfig:
     breaker_cooldown: float = 1.0
     worker_restart_backoff: float = 0.05
     trace: bool = field(default_factory=_env_trace_default)
+    store_path: str | None = field(default_factory=_env_store_default)
+    store_max_bytes: int | None = field(
+        default_factory=_env_store_max_bytes_default
+    )
+    store_warm: bool = True
+    drain_timeout: float = 30.0
 
 
 @dataclass
@@ -274,6 +314,16 @@ class SolveService:
             )
             for name in ("process", "kernel", "datalog")
         }
+        #: The persistent artifact store (opened by :meth:`start` when
+        #: the config names a path; ``None`` while stopped, after a
+        #: failed open, or with persistence off).
+        self.store: "ArtifactStore | None" = None
+        self._store_prev_default: "ArtifactStore | None" = None
+        self._store_is_default = False
+        #: Compiled-query artifacts recovered from the store (or written
+        #: through this process), keyed by query fingerprint — the
+        #: containment front door's warm path.
+        self._query_artifacts: dict[str, "CompiledQuery"] = {}
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread_pool: ThreadPoolExecutor | None = None
         self._supervisor: SupervisedProcessPool | None = None
@@ -307,6 +357,10 @@ class SolveService:
             return self
         self._loop = asyncio.get_running_loop()
         config = self._config
+        # The store opens before the worker pool spawns so the initial
+        # workers already see every record a previous service generation
+        # left behind (recovery runs here, under the writer lock).
+        self._open_store()
         workers = (
             config.process_workers
             if config.process_workers is not None
@@ -321,6 +375,9 @@ class SolveService:
             supervisor = SupervisedProcessPool(
                 workers,
                 config.cache_maxsize,
+                store_path=(
+                    config.store_path if self.store is not None else None
+                ),
                 restart_backoff=config.worker_restart_backoff,
                 on_restart=self._note_worker_restart,
             )
@@ -398,6 +455,71 @@ class SolveService:
                 if self._open_requests == 0:
                     break
                 await self._capacity.wait()
+        await self._teardown()
+
+    async def drain(self, timeout: float | None = None) -> bool:
+        """Gracefully wind the service down; ``True`` if nothing was cut.
+
+        The shutdown contract for a service that persists state: stop
+        admitting (new submits raise :class:`ServiceClosedError`), let
+        in-flight and queued requests finish for up to ``timeout``
+        seconds (default: ``config.drain_timeout``), then cooperatively
+        cancel whatever is still running — each survivor's token is
+        force-expired, so the kernel loops unwind within one check
+        interval and every waiter gets a deterministic
+        :class:`SolveTimeoutError`, never a half-written answer.  Either
+        way the artifact store is flushed (fsync) and closed afterwards,
+        so everything completed before the cut-off is durable.
+
+        Idempotent, and safe to call instead of :meth:`stop`; returns
+        ``True`` when all open requests completed inside the grace
+        period, ``False`` when stragglers had to be cancelled.
+        """
+        if not self._running:
+            return True
+        if timeout is None:
+            timeout = self._config.drain_timeout
+        self._running = False
+        self.recorder.record(
+            "service.drain",
+            open_requests=self._open_requests,
+            timeout_s=timeout,
+        )
+        assert self._capacity is not None
+        deadline = Deadline.after(timeout)
+        while self._open_requests > 0 and not deadline.expired():
+            async with self._capacity:
+                if self._open_requests == 0:
+                    break
+                try:
+                    await asyncio.wait_for(
+                        self._capacity.wait(), max(deadline.remaining(), 0.0)
+                    )
+                except asyncio.TimeoutError:
+                    break
+        clean = self._open_requests == 0
+        if not clean:
+            # Grace period over: expire every survivor's shared token.
+            # Running solves (thread or process side) hit it at their
+            # next cooperative check; still-queued requests fail at
+            # their first.  The cancel is advisory-free — tokens are
+            # read on every check — so no backend-specific plumbing.
+            self.recorder.record(
+                "service.drain.expired", open_requests=self._open_requests
+            )
+            for request in list(self._inflight.values()):
+                request.token.deadline = Deadline.after(0.0)
+                request.token.cancel()
+            while self._open_requests > 0:
+                async with self._capacity:
+                    if self._open_requests == 0:
+                        break
+                    await self._capacity.wait()
+        await self._teardown()
+        return clean
+
+    async def _teardown(self) -> None:
+        """Release every resource ``start`` acquired (stop/drain tail)."""
         if self._dispatch_task is not None:
             self._dispatch_task.cancel()
             await asyncio.gather(self._dispatch_task, return_exceptions=True)
@@ -411,6 +533,71 @@ class SolveService:
             await self._supervisor.shutdown(wait=True)
             self._supervisor = None
         self.metrics.unregister_collector(self._metrics_collector)
+        self._close_store()
+
+    def _open_store(self) -> None:
+        """Open the configured artifact store, degrading to store-less."""
+        config = self._config
+        if config.store_path is None or self.store is not None:
+            return
+        from repro.exceptions import ArtifactStoreError
+        from repro.persist import ArtifactStore
+        from repro.persist import runtime as persist_runtime
+
+        try:
+            store = ArtifactStore(
+                config.store_path,
+                max_bytes=config.store_max_bytes,
+                recorder=self.recorder,
+            )
+        except (OSError, ArtifactStoreError) as exc:
+            _log.warning(
+                "artifact store unavailable at %s: %s — serving store-less",
+                config.store_path,
+                exc,
+                extra={
+                    "event": "store.unavailable",
+                    "path": config.store_path,
+                },
+            )
+            return
+        self.store = store
+        self.cache.attach_store(store)
+        # The canonical-Datalog plane reads/writes ρ_B records through
+        # the process-wide default handle; remember what we displaced so
+        # nested services (tests) restore cleanly.
+        self._store_prev_default = persist_runtime.set_default_store(store)
+        self._store_is_default = True
+        if config.store_warm:
+            warmed = store.warm_cache(self.cache)
+            self._query_artifacts = dict(store.query_artifacts())
+            self.recorder.record(
+                "store.warm",
+                structures=warmed,
+                queries=len(self._query_artifacts),
+            )
+
+    def _close_store(self) -> None:
+        """Flush + close the store and restore the default-store handle."""
+        if self.store is None:
+            return
+        from repro.persist import runtime as persist_runtime
+
+        try:
+            self.store.close()
+        except OSError as exc:  # pragma: no cover — close is best-effort
+            _log.warning(
+                "artifact store close failed: %s",
+                exc,
+                extra={"event": "store.close_failed"},
+            )
+        if self._store_is_default:
+            persist_runtime.set_default_store(self._store_prev_default)
+            self._store_prev_default = None
+            self._store_is_default = False
+        self.cache.attach_store(None)
+        self.store = None
+        self._query_artifacts = {}
 
     async def __aenter__(self) -> "SolveService":
         return await self.start()
@@ -477,13 +664,21 @@ class SolveService:
         Raises :class:`VocabularyError` for arity-incompatible queries
         and :class:`ServiceOverloadedError` on admission refusal.
         """
-        from repro.cq.compiled import compile_query
         from repro.cq.query import check_compatible
 
         check_compatible(q1, q2)
         union = q1.vocabulary.union(q2.vocabulary)
-        target = compile_query(q1).canonical_for(union)
-        source = compile_query(q2).canonical_for(union)
+        cq1 = self._compile_query_warm(q1)
+        cq2 = self._compile_query_warm(q2)
+        target = cq1.canonical_for(union)
+        source = cq2.canonical_for(union)
+        if self.store is not None:
+            # Written *after* canonical_for so the persisted artifact
+            # carries this union's canonical database; put() is
+            # insert-only, so an already-stored query costs one index
+            # probe.
+            self.store.put("query", cq1.fingerprint, cq1)
+            self.store.put("query", cq2.fingerprint, cq2)
         try:
             waiter = self._submit(
                 source,
@@ -499,6 +694,26 @@ class SolveService:
             raise
         self.stats.containment_requests += 1
         return waiter
+
+    def _compile_query_warm(self, query: "ConjunctiveQuery") -> "CompiledQuery":
+        """``compile_query`` through the store-recovered artifact map.
+
+        A fingerprint hit adopts the persisted :class:`CompiledQuery` —
+        canonical databases and all — as the query's compile memo, so a
+        restarted service answers its first containment on a known query
+        without rebuilding ``D_Q``.
+        """
+        from repro.cq.compiled import compile_query, query_fingerprint
+
+        if query._compiled is None and self._query_artifacts:
+            stored = self._query_artifacts.get(query_fingerprint(query))
+            if stored is not None:
+                query._compiled = stored
+                return stored
+        compiled = compile_query(query)
+        if self.store is not None:
+            self._query_artifacts.setdefault(compiled.fingerprint, compiled)
+        return compiled
 
     def submit_datalog(
         self,

@@ -58,6 +58,7 @@ class SupervisedProcessPool:
         workers: int,
         cache_maxsize: int,
         *,
+        store_path: str | None = None,
         restart_backoff: float = 0.05,
         backoff_cap: float = 2.0,
         jitter_seed: int | None = None,
@@ -67,6 +68,12 @@ class SupervisedProcessPool:
             raise ValueError("a supervised pool needs at least one worker")
         self.workers = workers
         self.cache_maxsize = cache_maxsize
+        #: Artifact-store directory the workers read through (``None``
+        #: runs them store-less).  Every generation — including pools
+        #: respawned after a crash — opens the same store read-only, so
+        #: a replacement worker starts warm on everything its
+        #: predecessors' service process persisted.
+        self.store_path = store_path
         self.restart_backoff = restart_backoff
         self.backoff_cap = backoff_cap
         self.on_restart = on_restart
@@ -104,7 +111,7 @@ class SupervisedProcessPool:
             pool = ProcessPoolExecutor(
                 max_workers=self.workers,
                 initializer=worker_initializer,
-                initargs=(self.cache_maxsize,),
+                initargs=(self.cache_maxsize, self.store_path),
             )
             await asyncio.gather(
                 *[

@@ -24,34 +24,75 @@ from dataclasses import replace
 from repro import faultinject
 from repro.core.cancellation import Deadline
 from repro.core.pipeline import Solution, SolverPipeline, StructureCache
+from repro.obs.logs import get_logger
 from repro.obs.trace import Span, span_scope
 from repro.structures.structure import Structure
 
 __all__ = ["process_solve", "worker_pid", "worker_initializer"]
 
+_log = get_logger("service.workers")
+
 #: The worker's long-lived pipeline, created by :func:`worker_initializer`
 #: (or lazily on the first solve if the pool was built without one).
 _pipeline: SolverPipeline | None = None
 _cache_maxsize: int = StructureCache.DEFAULT_MAXSIZE
+_store_path: str | None = None
 
 
 def worker_initializer(
     cache_maxsize: int = StructureCache.DEFAULT_MAXSIZE,
+    store_path: str | None = None,
 ) -> None:
     """Build this worker's pipeline up front (runs in the pool worker)."""
-    global _pipeline, _cache_maxsize
+    global _pipeline, _cache_maxsize, _store_path
     _cache_maxsize = cache_maxsize
-    _pipeline = SolverPipeline(cache=StructureCache(cache_maxsize))
+    _store_path = store_path
+    _pipeline = SolverPipeline(cache=_build_cache())
     # The chaos harness exports its plan through the environment so
     # worker-side faults (kills mid-solve) fire inside this process —
     # including in pools the supervisor respawns after a kill.
     faultinject.install_from_env()
 
 
+def _build_cache() -> StructureCache:
+    """This worker's cache, reading through the shared store if one is set.
+
+    Workers open the store **read-only**: the service process is the
+    single writer (and holds the writer lock), while any number of
+    worker generations read the same log — that is how a respawned
+    worker comes back warm instead of recompiling every structure the
+    dead one knew.  A store that cannot be opened (deleted out from
+    under us, unreadable) degrades to a plain in-memory cache; the
+    worker still answers correctly, just cold.
+    """
+    cache = StructureCache(_cache_maxsize)
+    if _store_path is not None:
+        from repro.persist import ArtifactStore
+        from repro.persist import runtime as persist_runtime
+
+        from repro.exceptions import ArtifactStoreError
+
+        try:
+            store = ArtifactStore(_store_path, mode="ro")
+        except (OSError, ArtifactStoreError) as exc:
+            _log.warning(
+                "worker could not open artifact store at %s: %s — cold cache",
+                _store_path,
+                exc,
+                extra={"event": "store.unavailable", "path": _store_path},
+            )
+            return cache
+        cache.attach_store(store)
+        # The canonical-Datalog plane reads ρ_B records through the
+        # process-wide default store handle.
+        persist_runtime.set_default_store(store)
+    return cache
+
+
 def _get_pipeline() -> SolverPipeline:
     global _pipeline
     if _pipeline is None:
-        _pipeline = SolverPipeline(cache=StructureCache(_cache_maxsize))
+        _pipeline = SolverPipeline(cache=_build_cache())
     return _pipeline
 
 
