@@ -1,0 +1,311 @@
+"""P9 — edge load: the sharded network edge under closed-loop traffic.
+
+The P3 load shape (a duplicated mixed stream — many users, few distinct
+queries) is pushed across the full network distance: JSON over real TCP
+sockets into a ``python -m repro.edge`` process, through fingerprint
+routing into N ``SolveService`` shard processes, and back.  The
+benchmark runs the identical stream against a 1-shard edge and a
+4-shard edge and reports aggregate throughput, client-side p50/p95/p99
+latency per route, and the scaling ratio.
+
+Gates (mirrors the PR's acceptance criteria):
+
+- **Parity is always blocking**: every response verdict must equal the
+  direct ``solve()`` verdict; one mismatch aborts with a non-zero exit.
+- **Scaling is blocking only where it can hold**: the >= 2x aggregate
+  throughput criterion at 4 shards needs >= 4 cores; on smaller boxes
+  (this container has 1) the ratio is echoed and recorded with an
+  ``insufficient cores`` note instead of failing the run.
+- **The p99 SLO is never blocking**: it is echoed and recorded so the
+  perf-smoke job can chart drift without flaking the build.
+
+Run directly (writes ``BENCH_edge.json``)::
+
+    python benchmarks/bench_p09_edge.py --duplication 4 --workers 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import queue
+import random
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import _paths  # noqa: F401  (sys.path setup for a bare checkout)
+
+import repro
+from repro.core import solve
+from repro.edge.client import EdgeClient
+from repro.service.stats import LatencyHistogram
+
+from _workloads import mixed_service_workload
+
+SHARD_COUNTS = (1, 4)
+SCALING_GATE = 2.0  # required 4-shard/1-shard throughput ratio
+SCALING_MIN_CORES = 4  # the gate only binds where the cores exist
+P99_SLO_MS = 5000.0  # echoed, never blocking
+
+
+def build_request_stream(
+    *, seed: int, variants: int, duplication: int, clique_sizes: tuple[int, ...]
+) -> tuple[list[tuple[str, object, object, bool]], int]:
+    """Each unique instance ``duplication`` times, shuffled, with its
+    direct-``solve`` verdict attached (the parity oracle rides along so
+    workers can check answers without a second lookup)."""
+    unique = [
+        (label, source, target, solve(source, target, plan=True).exists)
+        for label, source, target in mixed_service_workload(
+            seed=seed, variants=variants, clique_sizes=clique_sizes
+        )
+    ]
+    stream = [instance for instance in unique for _ in range(duplication)]
+    random.Random(seed).shuffle(stream)
+    return stream, len(unique)
+
+
+class EdgeProcess:
+    """One ``python -m repro.edge`` subprocess on an ephemeral port."""
+
+    def __init__(self, num_shards: int) -> None:
+        src_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src_root, env.get("PYTHONPATH")) if p
+        )
+        self.process = subprocess.Popen(
+            [sys.executable, "-m", "repro.edge", "--port", "0",
+             "--shards", str(num_shards)],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            env=env,
+            text=True,
+        )
+        # serve_forever prints one JSON line once bound and warmed.
+        line = self.process.stdout.readline()
+        if not line:
+            self.process.wait(timeout=10)
+            raise SystemExit(
+                f"edge ({num_shards} shard) exited rc={self.process.returncode} "
+                "before binding"
+            )
+        listening = json.loads(line)["listening"]
+        self.host, _, port = listening.rpartition(":")
+        self.port = int(port)
+
+    def shutdown(self) -> int:
+        self.process.send_signal(signal.SIGTERM)
+        try:
+            return self.process.wait(timeout=60)
+        except subprocess.TimeoutExpired:
+            self.process.kill()
+            return self.process.wait(timeout=10)
+
+
+def run_edge_load(stream, *, num_shards: int, workers: int) -> dict:
+    """Closed-loop load: ``workers`` threads, one keep-alive client each,
+    draining a shared job queue as fast as responses come back."""
+    edge = EdgeProcess(num_shards)
+    jobs: queue.Queue = queue.Queue()
+    for item in stream:
+        jobs.put(item)
+    histogram = LatencyHistogram()
+    histogram_lock = threading.Lock()
+    mismatches: list[str] = []
+    errors: list[str] = []
+    coalesce_hits = 0
+
+    def worker() -> None:
+        nonlocal coalesce_hits
+        with EdgeClient(edge.host, edge.port, timeout=600.0) as client:
+            while True:
+                try:
+                    label, source, target, expected = jobs.get_nowait()
+                except queue.Empty:
+                    return
+                tick = time.perf_counter()
+                try:
+                    result = client.solve(source, target)
+                except Exception as exc:  # noqa: BLE001 — tallied below
+                    with histogram_lock:
+                        errors.append(f"{label}: {type(exc).__name__}: {exc}")
+                    continue
+                latency_ms = (time.perf_counter() - tick) * 1000
+                with histogram_lock:
+                    histogram.record(latency_ms)
+                    if result["verdict"] != expected:
+                        mismatches.append(label)
+                    if result["coalesced"]:
+                        coalesce_hits += 1
+
+    threads = [
+        threading.Thread(target=worker, daemon=True) for _ in range(workers)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    rc = edge.shutdown()
+    return {
+        "num_shards": num_shards,
+        "seconds": elapsed,
+        "throughput_rps": len(stream) / elapsed,
+        "latency": histogram.snapshot(),
+        "coalesce_hits": coalesce_hits,
+        "mismatches": mismatches,
+        "errors": errors,
+        "drain_rc": rc,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--variants", type=int, default=2,
+        help="seeded variants per workload family",
+    )
+    parser.add_argument(
+        "--duplication", type=int, default=4,
+        help="how many times each unique instance is requested",
+    )
+    parser.add_argument(
+        "--max-clique", type=int, default=4,
+        help="largest clique size in the backtracking-heavy part",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=8,
+        help="closed-loop client threads",
+    )
+    parser.add_argument("--out", default="BENCH_edge.json")
+    args = parser.parse_args()
+
+    stream, unique = build_request_stream(
+        seed=args.seed,
+        variants=args.variants,
+        duplication=args.duplication,
+        clique_sizes=tuple(range(3, args.max_clique + 1)),
+    )
+    cores = os.cpu_count() or 1
+    print(
+        f"P9 edge load: {len(stream)} requests "
+        f"({unique} unique x {args.duplication}), "
+        f"{args.workers} closed-loop workers, {cores} cores"
+    )
+
+    runs = {}
+    for num_shards in SHARD_COUNTS:
+        run = run_edge_load(stream, num_shards=num_shards, workers=args.workers)
+        runs[num_shards] = run
+        latency = run["latency"]
+        print(
+            f"  shards={num_shards}: {run['seconds']:8.3f}s  "
+            f"{run['throughput_rps']:7.1f} req/s  "
+            f"p50={latency['p50_ms']:.1f}ms p95={latency['p95_ms']:.1f}ms "
+            f"p99={latency['p99_ms']:.1f}ms  "
+            f"(coalesce hits: {run['coalesce_hits']}, "
+            f"drain rc: {run['drain_rc']})"
+        )
+
+    failures: list[str] = []
+    for num_shards, run in runs.items():
+        if run["errors"]:
+            failures.append(
+                f"{len(run['errors'])} request(s) errored at "
+                f"{num_shards} shard(s): {run['errors'][:3]}"
+            )
+        if run["mismatches"]:
+            failures.append(
+                f"parity FAILED at {num_shards} shard(s): "
+                f"{len(run['mismatches'])} verdict(s) differ from direct "
+                f"solve ({run['mismatches'][:5]})"
+            )
+        if run["drain_rc"] != 0:
+            failures.append(
+                f"edge at {num_shards} shard(s) exited rc={run['drain_rc']} "
+                "on SIGTERM drain"
+            )
+    if not failures:
+        print("  parity : edge verdicts == direct solve verdicts (both runs)")
+
+    ratio = (
+        runs[SHARD_COUNTS[-1]]["throughput_rps"]
+        / runs[SHARD_COUNTS[0]]["throughput_rps"]
+    )
+    scaling_binding = cores >= SCALING_MIN_CORES
+    scaling_ok = ratio >= SCALING_GATE
+    note = None
+    if scaling_ok:
+        print(f"  scaling: {ratio:.2f}x at {SHARD_COUNTS[-1]} shards (gate {SCALING_GATE}x: pass)")
+    elif scaling_binding:
+        failures.append(
+            f"scaling gate FAILED: {ratio:.2f}x at {SHARD_COUNTS[-1]} shards "
+            f"< required {SCALING_GATE}x with {cores} cores"
+        )
+    else:
+        note = (
+            f"insufficient cores: {cores} < {SCALING_MIN_CORES}; the "
+            f"{SCALING_GATE}x scaling gate is reported but not enforced"
+        )
+        print(f"  scaling: {ratio:.2f}x at {SHARD_COUNTS[-1]} shards ({note})")
+
+    p99 = runs[SHARD_COUNTS[-1]]["latency"]["p99_ms"]
+    p99_ok = p99 <= P99_SLO_MS
+    print(
+        f"  p99 SLO: {p99:.1f}ms vs {P99_SLO_MS:.0f}ms "
+        f"({'within' if p99_ok else 'EXCEEDED'} — non-blocking)"
+    )
+
+    report = {
+        "report": "P9 edge load",
+        "python": platform.python_version(),
+        "cpu_count": cores,
+        "requests": len(stream),
+        "unique_instances": unique,
+        "duplication": args.duplication,
+        "workers": args.workers,
+        "workload_families": sorted({label for label, _s, _t, _v in stream}),
+        "runs": {
+            str(num_shards): {
+                "seconds": round(run["seconds"], 4),
+                "throughput_rps": round(run["throughput_rps"], 2),
+                "latency": run["latency"],
+                "coalesce_hits": run["coalesce_hits"],
+                "drain_rc": run["drain_rc"],
+            }
+            for num_shards, run in runs.items()
+        },
+        "scaling": {
+            "ratio": round(ratio, 3),
+            "gate": SCALING_GATE,
+            "enforced": scaling_binding,
+            "passed": scaling_ok,
+            "note": note,
+        },
+        "p99_slo": {
+            "p99_ms": p99,
+            "slo_ms": P99_SLO_MS,
+            "within": p99_ok,
+            "blocking": False,
+        },
+        "parity": "ok" if not failures else "FAILED",
+    }
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"  wrote  : {args.out}")
+
+    if failures:
+        raise SystemExit("\n".join(failures))
+
+
+if __name__ == "__main__":
+    main()

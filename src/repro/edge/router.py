@@ -1,0 +1,600 @@
+"""The fingerprint-sharded router: N ``SolveService`` worker processes.
+
+The edge partitions traffic by instance fingerprint across ``N`` shard
+processes, each running one :class:`~repro.service.SolveService` that
+owns its shard of the structure-cache keyspace and warms from its own
+partition of a shared artifact-store directory (``<root>/shard-<i>`` —
+partitioned because the store is single-writer, and partitioning keeps
+every warm artifact owned by exactly the process that will be asked for
+it again).  The routing rule is the cache's own:
+
+    ``shard = int(fingerprint[:8], 16) % num_shards``
+
+— the same function :class:`repro.service.cache.ShardedStructureCache`
+uses internally, so "same fingerprint → same shard" holds fleet-wide and
+the per-process in-flight coalescing of PR 3 becomes fleet-wide
+coalescing for free.
+
+Supervision mirrors :mod:`repro.service.supervision`: a reader thread
+per shard turns pipe EOF into a crash signal on the event loop, in-flight
+requests fail with a typed :class:`~repro.exceptions.ShardCrashedError`
+(retried within the router's budget), and a single-flight respawn with
+exponential backoff brings the shard back *warm* — the replacement
+process re-opens the dead shard's store partition, whose per-record
+flushes survive SIGKILL, and seeds its caches before answering.
+
+IPC is deliberately boring: a duplex pipe per shard carrying
+``(request_id, op, payload)`` down and ``(request_id, ok, result)`` up,
+with errors crossing as ``(class_name, message)`` pairs — exception
+*instances* are never pickled across the boundary (a crashed shard
+can't be trusted to produce picklable ones).  Spawn context, not fork:
+the edge process runs an event loop and reader threads, and forking a
+threaded process is how you inherit locks in undefined states.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import logging
+import multiprocessing
+import multiprocessing.connection
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.exceptions import (
+    ReproError,
+    ServiceOverloadedError,
+    ShardCrashedError,
+)
+from repro.structures.fingerprint import instance_fingerprint
+from repro.edge.protocol import rebuild_error
+
+logger = logging.getLogger("repro.edge.router")
+
+__all__ = ["RouterConfig", "ShardRouter", "shard_for", "shard_main"]
+
+
+def shard_for(fingerprint: str, num_shards: int) -> int:
+    """The routing rule — identical to ``ShardedStructureCache``'s."""
+    return int(fingerprint[:8], 16) % num_shards
+
+
+def containment_fingerprint(q1_text: str, q2_text: str) -> str:
+    """The routing fingerprint for a containment pair.
+
+    Hashes the *rule texts* — cheap enough for the edge process, and
+    textually identical pairs (the coalescing case worth routing for)
+    land on the same shard.  Semantically equivalent but differently
+    written pairs may route to different shards; each still computes an
+    exact answer, so this costs a cache hit, never correctness.
+    """
+    digest = hashlib.sha256()
+    digest.update(q1_text.encode())
+    digest.update(b"\x00\xe2\x8a\x86\x00")  # a ⊆ separator no rule text contains
+    digest.update(q2_text.encode())
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Tuning knobs of a :class:`ShardRouter`.
+
+    ``queue_limit`` bounds each shard's *edge-side* in-flight window —
+    requests sent down the pipe and not yet answered; beyond it the
+    router raises :class:`ServiceOverloadedError` synchronously (the
+    server answers 429 + Retry-After).  The shard's own
+    ``SolveService`` admission control (``max_pending``) backstops it.
+    ``retry_budget`` is the number of additional attempts a request gets
+    after its shard crashes under it.  ``service_options`` passes
+    through to each shard's :class:`~repro.service.ServiceConfig`
+    (``plan=True`` unless overridden); ``store_path`` is the *shared
+    root* — each shard derives its own partition.
+    """
+
+    num_shards: int = 2
+    store_path: str | None = None
+    queue_limit: int = 64
+    retry_budget: int = 1
+    spawn_timeout: float = 60.0
+    respawn_backoff: float = 0.05
+    respawn_backoff_cap: float = 2.0
+    service_options: dict[str, Any] = field(default_factory=dict)
+
+
+# ---------------------------------------------------------------------------
+# The shard process
+# ---------------------------------------------------------------------------
+
+
+def shard_main(index: int, conn, options: dict[str, Any]) -> None:
+    """Entry point of one shard process (spawn target)."""
+    logging.basicConfig(level=logging.WARNING)
+    try:
+        asyncio.run(_shard_serve(index, conn, options))
+    except (KeyboardInterrupt, BrokenPipeError, EOFError):
+        pass
+    finally:
+        conn.close()
+
+
+async def _shard_serve(index: int, conn, options: dict[str, Any]) -> None:
+    from repro.obs.metrics import KERNEL_COUNTERS, default_registry
+    from repro.service import ServiceConfig, SolveService
+
+    config = ServiceConfig(
+        # One process per shard is the scaling unit; a nested process
+        # pool per shard would oversubscribe the machine.
+        process_workers=0,
+        plan=bool(options.get("plan", True)),
+        thread_workers=int(options.get("thread_workers", 2)),
+        max_pending=int(options.get("max_pending", 256)),
+        store_path=options.get("store_path"),
+        store_warm=bool(options.get("store_warm", True)),
+        retry_budget=int(options.get("retry_budget", 2)),
+        drain_timeout=float(options.get("drain_timeout", 30.0)),
+    )
+    service = SolveService(config)
+    await service.start()
+
+    loop = asyncio.get_running_loop()
+    send_lock = threading.Lock()
+    send_pool = ThreadPoolExecutor(
+        max_workers=1, thread_name_prefix=f"shard-{index}-send"
+    )
+
+    def _send(message: tuple) -> None:
+        with send_lock:
+            conn.send(message)
+
+    async def reply(request_id, ok: bool, result) -> None:
+        try:
+            await loop.run_in_executor(send_pool, _send, (request_id, ok, result))
+        except (BrokenPipeError, OSError):
+            pass  # the edge died; the drain path below will notice EOF
+
+    registry = default_registry()
+
+    def _stats_payload() -> dict[str, Any]:
+        return {
+            "index": index,
+            "pid": os.getpid(),
+            "service": service.stats.snapshot(),
+            "kernel": {
+                key: registry.counter(family, help).value()
+                for key, (family, help) in KERNEL_COUNTERS.items()
+            },
+        }
+
+    async def handle(request_id, op: str, payload: dict[str, Any]) -> None:
+        try:
+            if op == "ping":
+                await reply(request_id, True, {"pid": os.getpid()})
+                return
+            if op == "stats":
+                await reply(request_id, True, _stats_payload())
+                return
+            result = await _execute(service, op, payload)
+            await reply(request_id, True, result)
+        except ReproError as exc:
+            await reply(request_id, False, (type(exc).__name__, str(exc)))
+        except Exception as exc:  # noqa: BLE001 — never let a request kill the shard
+            logger.exception("shard %d: unexpected error in %s", index, op)
+            await reply(
+                request_id, False, ("ReproError", f"shard error: {exc!r}")
+            )
+
+    pending: set[asyncio.Task] = set()
+    draining = False
+    while not draining:
+        try:
+            message = await loop.run_in_executor(None, conn.recv)
+        except (EOFError, OSError):
+            break  # the edge process died; shut down quietly
+        request_id, op, payload = message
+        if op == "drain":
+            draining = True
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+            clean = await service.drain(payload.get("timeout"))
+            await reply(request_id, True, {"clean": clean})
+            break
+        task = asyncio.ensure_future(handle(request_id, op, payload))
+        pending.add(task)
+        task.add_done_callback(pending.discard)
+
+    if pending:
+        await asyncio.gather(*pending, return_exceptions=True)
+    if not draining:
+        await service.drain(0.0)
+    send_pool.shutdown(wait=True)
+
+
+async def _execute(service, op: str, payload: dict[str, Any]) -> dict[str, Any]:
+    """Run one solve-family op on this shard's service.
+
+    Coalescing is observed race-free: ``submit`` attaches coalesced
+    waiters (and bumps ``stats.coalesce_hits``) synchronously on the
+    loop thread, so a before/after read brackets exactly this request.
+    """
+    timeout = payload.get("timeout")
+    kwargs = {} if timeout is None else {"timeout": timeout}
+    before = service.stats.coalesce_hits
+    if op == "solve":
+        waiter = service.submit(payload["source"], payload["target"], **kwargs)
+    elif op == "containment":
+        from repro.cq.parser import parse_query
+
+        q1 = parse_query(payload["q1"])
+        q2 = parse_query(payload["q2"])
+        waiter = service.submit_containment(q1, q2, **kwargs)
+    elif op == "datalog":
+        waiter = service.submit_datalog(
+            payload["source"], payload["target"], k=payload["k"], **kwargs
+        )
+    else:
+        raise ReproError(f"unknown shard op: {op!r}")
+    coalesced = service.stats.coalesce_hits > before
+    solution = await waiter
+    return {
+        "verdict": solution.exists,
+        "witness": solution.homomorphism,
+        "strategy": solution.strategy,
+        "route": op,
+        "coalesced": coalesced,
+    }
+
+
+# ---------------------------------------------------------------------------
+# The edge side
+# ---------------------------------------------------------------------------
+
+
+class _ShardHandle:
+    """One shard process as seen from the edge event loop.
+
+    Owns the process, its pipe, a reader thread (blocking ``recv`` off
+    the loop; EOF is the crash signal), and a single-thread send
+    executor (``Connection.send`` can block on a full pipe — never on
+    the event loop).  Respawn is single-flight behind ``_respawn_lock``
+    with exponential backoff, and every pipe message carries through a
+    generation check so a stale reader thread from a dead process can
+    never touch the replacement's in-flight table.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        config: RouterConfig,
+        loop: asyncio.AbstractEventLoop,
+    ) -> None:
+        self.index = index
+        self.config = config
+        self.loop = loop
+        self.generation = 0
+        self.crashes = 0
+        self.process: multiprocessing.Process | None = None
+        self.conn = None
+        self.pid: int | None = None
+        self._inflight: dict[int, asyncio.Future] = {}
+        self._next_id = 0
+        self._alive = asyncio.Event()
+        self._respawn_lock = asyncio.Lock()
+        self._respawn_streak = 0
+        self._closing = False
+        self._send_pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix=f"edge-shard-{index}-send"
+        )
+        options = dict(config.service_options)
+        if config.store_path is not None:
+            options["store_path"] = os.path.join(
+                config.store_path, f"shard-{index}"
+            )
+        self._options = options
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        await self._spawn()
+
+    async def _spawn(self) -> None:
+        ctx = multiprocessing.get_context("spawn")
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        process = ctx.Process(
+            target=shard_main,
+            args=(self.index, child_conn, self._options),
+            name=f"repro-edge-shard-{self.index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        self.generation += 1
+        self.process = process
+        self.conn = parent_conn
+        self.pid = process.pid
+        threading.Thread(
+            target=self._read_loop,
+            args=(parent_conn, self.generation),
+            name=f"edge-shard-{self.index}-reader",
+            daemon=True,
+        ).start()
+        # The first ping doubles as the readiness barrier: the shard
+        # answers only once its service has started (and warmed).
+        pong = await asyncio.wait_for(
+            self._call_raw("ping", {}), self.config.spawn_timeout
+        )
+        self.pid = pong["pid"]
+        self._respawn_streak = 0
+        self._alive.set()
+
+    def _read_loop(self, conn, generation: int) -> None:
+        try:
+            while True:
+                message = conn.recv()
+                self.loop.call_soon_threadsafe(
+                    self._deliver, generation, message
+                )
+        except (EOFError, OSError):
+            pass
+        self.loop.call_soon_threadsafe(self._on_disconnect, generation)
+
+    def _deliver(self, generation: int, message: tuple) -> None:
+        if generation != self.generation:
+            return
+        request_id, ok, result = message
+        future = self._inflight.pop(request_id, None)
+        if future is None or future.done():
+            return
+        if ok:
+            future.set_result(result)
+        else:
+            name, text = result
+            future.set_exception(rebuild_error(name, text))
+
+    def _on_disconnect(self, generation: int) -> None:
+        if generation != self.generation:
+            return
+        self._alive.clear()
+        inflight, self._inflight = self._inflight, {}
+        for future in inflight.values():
+            if not future.done():
+                future.set_exception(
+                    ShardCrashedError(
+                        f"shard {self.index} (pid {self.pid}) died with "
+                        f"{len(inflight)} request(s) in flight"
+                    )
+                )
+        if self._closing:
+            return
+        self.crashes += 1
+        logger.warning(
+            "shard %d (pid %s) died; respawning warm", self.index, self.pid
+        )
+        self.loop.create_task(self._respawn())
+
+    async def _respawn(self) -> None:
+        async with self._respawn_lock:
+            if self._alive.is_set() or self._closing:
+                return  # another task already brought the shard back
+            self._respawn_streak += 1
+            backoff = min(
+                self.config.respawn_backoff * 2 ** (self._respawn_streak - 1),
+                self.config.respawn_backoff_cap,
+            )
+            await asyncio.sleep(backoff)
+            if self._closing:
+                return
+            try:
+                await self._spawn()
+            except Exception:  # noqa: BLE001 — keep trying; shard stays down meanwhile
+                logger.exception("shard %d respawn failed", self.index)
+                if not self._closing:
+                    self.loop.create_task(self._respawn())
+
+    async def close(self, timeout: float) -> bool:
+        """Drain the shard's service and let its process exit."""
+        self._closing = True
+        clean = True
+        if self._alive.is_set():
+            try:
+                result = await asyncio.wait_for(
+                    self._call_raw("drain", {"timeout": timeout}),
+                    timeout + self.config.spawn_timeout,
+                )
+                clean = bool(result.get("clean", False))
+            except (ShardCrashedError, asyncio.TimeoutError):
+                clean = False
+        process = self.process
+        if process is not None:
+            await self.loop.run_in_executor(None, process.join, 10.0)
+            if process.is_alive():
+                process.kill()
+                clean = False
+        self._send_pool.shutdown(wait=False)
+        return clean
+
+    # -- requests ------------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        return self._alive.is_set()
+
+    @property
+    def inflight(self) -> int:
+        return len(self._inflight)
+
+    def admit(self) -> None:
+        """Synchronous admission: bounded edge-side in-flight window."""
+        if len(self._inflight) >= self.config.queue_limit:
+            raise ServiceOverloadedError(
+                f"shard {self.index} has {len(self._inflight)} requests "
+                f"in flight (limit {self.config.queue_limit})"
+            )
+
+    async def _call_raw(self, op: str, payload: dict[str, Any]):
+        """Send one op and await its reply (no admission, no retry)."""
+        request_id = self._next_id
+        self._next_id += 1
+        future = self.loop.create_future()
+        self._inflight[request_id] = future
+        conn = self.conn
+        try:
+            await self.loop.run_in_executor(
+                self._send_pool, conn.send, (request_id, op, payload)
+            )
+        except (BrokenPipeError, OSError):
+            self._inflight.pop(request_id, None)
+            raise ShardCrashedError(
+                f"shard {self.index} pipe is broken"
+            ) from None
+        try:
+            return await future
+        finally:
+            self._inflight.pop(request_id, None)
+
+    async def call(self, op: str, payload: dict[str, Any]):
+        self.admit()
+        return await self._call_raw(op, payload)
+
+
+class ShardRouter:
+    """Routes requests to shards by fingerprint, with crash retries."""
+
+    def __init__(
+        self,
+        config: RouterConfig | None = None,
+        *,
+        loop: asyncio.AbstractEventLoop | None = None,
+    ) -> None:
+        self.config = config or RouterConfig()
+        if self.config.num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self._loop = loop or asyncio.get_event_loop()
+        self._handles = [
+            _ShardHandle(index, self.config, self._loop)
+            for index in range(self.config.num_shards)
+        ]
+        self._started = False
+
+    async def start(self) -> "ShardRouter":
+        if not self._started:
+            await asyncio.gather(
+                *(handle.start() for handle in self._handles)
+            )
+            self._started = True
+        return self
+
+    async def drain(self, timeout: float = 30.0) -> bool:
+        """Drain every shard; ``True`` when no shard cut work short."""
+        results = await asyncio.gather(
+            *(handle.close(timeout) for handle in self._handles)
+        )
+        self._started = False
+        return all(results)
+
+    # -- routing -------------------------------------------------------------
+
+    def shard_for(self, fingerprint: str) -> int:
+        return shard_for(fingerprint, self.config.num_shards)
+
+    async def solve(self, payload: dict[str, Any]) -> dict[str, Any]:
+        fingerprint = instance_fingerprint(
+            payload["source"], payload["target"]
+        )
+        return await self._request(self.shard_for(fingerprint), "solve", payload)
+
+    async def containment(self, payload: dict[str, Any]) -> dict[str, Any]:
+        fingerprint = containment_fingerprint(payload["q1"], payload["q2"])
+        return await self._request(
+            self.shard_for(fingerprint), "containment", payload
+        )
+
+    async def datalog(self, payload: dict[str, Any]) -> dict[str, Any]:
+        fingerprint = instance_fingerprint(
+            payload["source"], payload["target"]
+        )
+        return await self._request(
+            self.shard_for(fingerprint), "datalog", payload
+        )
+
+    async def dispatch(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Route one batch item by its ``op`` field."""
+        op = payload["op"]
+        body = {k: v for k, v in payload.items() if k != "op"}
+        if op == "solve":
+            return await self.solve(body)
+        if op == "containment":
+            return await self.containment(body)
+        return await self.datalog(body)
+
+    async def _request(
+        self, shard_index: int, op: str, payload: dict[str, Any]
+    ) -> dict[str, Any]:
+        handle = self._handles[shard_index]
+        attempts = self.config.retry_budget + 1
+        for attempt in range(attempts):
+            if not handle.alive:
+                # A dead shard sheds load instead of queueing blind: the
+                # respawn takes ~a backoff; clients retry after it.
+                if attempt == attempts - 1:
+                    raise ShardCrashedError(
+                        f"shard {shard_index} is down (respawning)"
+                    )
+                await self._await_respawn(handle)
+                continue
+            try:
+                result = await handle.call(op, payload)
+            except ShardCrashedError:
+                if attempt == attempts - 1:
+                    raise
+                await self._await_respawn(handle)
+                continue
+            result["shard"] = shard_index
+            return result
+        raise AssertionError("unreachable")
+
+    async def _await_respawn(self, handle: _ShardHandle) -> None:
+        try:
+            await asyncio.wait_for(
+                handle._alive.wait(), self.config.spawn_timeout
+            )
+        except asyncio.TimeoutError:
+            raise ShardCrashedError(
+                f"shard {handle.index} did not respawn in time"
+            ) from None
+
+    # -- introspection -------------------------------------------------------
+
+    def shard_states(self) -> list[dict[str, Any]]:
+        """Cheap per-shard health (no pipe round-trip) for ``/v1/healthz``."""
+        return [
+            {
+                "index": handle.index,
+                "pid": handle.pid,
+                "alive": handle.alive,
+                "generation": handle.generation,
+                "crashes": handle.crashes,
+                "inflight": handle.inflight,
+            }
+            for handle in self._handles
+        ]
+
+    async def shard_stats(self) -> list[dict[str, Any]]:
+        """Full per-shard stats (pipe round-trip to each live shard)."""
+        async def one(handle: _ShardHandle):
+            if not handle.alive:
+                return {"index": handle.index, "alive": False}
+            try:
+                stats = await handle._call_raw("stats", {})
+            except ShardCrashedError:
+                return {"index": handle.index, "alive": False}
+            stats["alive"] = True
+            stats["generation"] = handle.generation
+            return stats
+
+        return list(
+            await asyncio.gather(*(one(handle) for handle in self._handles))
+        )

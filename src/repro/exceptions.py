@@ -106,6 +106,37 @@ class WorkerCrashedError(ServiceError):
     """
 
 
+class EdgeError(ServiceError):
+    """Base class for network-edge failures (:mod:`repro.edge`)."""
+
+
+class EdgeProtocolError(EdgeError):
+    """A request violated the edge wire protocol.
+
+    Carries the HTTP ``status`` the edge answers with (400 for malformed
+    framing or bodies, 404/405 for unroutable requests, 408 for a body
+    that never arrived, 413 for an oversized payload, 415 for a wrong
+    content type, ...).  Always a *request*-level failure: the
+    connection that sent it is answered and — except where the framing
+    itself is unrecoverable — kept open, and the server keeps serving.
+    """
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ShardCrashedError(EdgeError):
+    """A shard worker process died with requests in flight.
+
+    The edge analogue of :class:`WorkerCrashedError`: the router fails
+    the shard's in-flight requests with this, respawns the shard
+    (single-flight, backed off, warm from the shard's store partition),
+    and retries within the request's budget.  Only surfaces to a client
+    — as a typed 503 — when the retry budget is exhausted.
+    """
+
+
 class ArtifactStoreError(ReproError):
     """The persistent artifact store cannot be opened or written.
 

@@ -1,0 +1,186 @@
+"""Shared harness for the edge test wall (protocol, parity, chaos).
+
+``RunningEdge`` hosts a real :class:`repro.edge.EdgeServer` — shard
+processes, listening socket and all — on a background-thread event loop,
+so blocking test code can poke it over localhost exactly like an
+external client would.  An attached log sentry records every
+ERROR-or-worse record under the ``repro.edge`` hierarchy; the protocol
+suite's core claim ("the server keeps serving and nothing lands
+unhandled in the log") is asserted through it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import socket
+import threading
+import time
+
+from repro.edge import EdgeConfig, EdgeServer
+
+#: Generous: shard processes are full Python interpreters (spawn) that
+#: import the kernel before answering their readiness ping.
+START_TIMEOUT = 120.0
+
+
+class LogSentry(logging.Handler):
+    """Collects ERROR+ records from the ``repro.edge`` logger tree."""
+
+    def __init__(self) -> None:
+        super().__init__(level=logging.ERROR)
+        self.records: list[logging.LogRecord] = []
+
+    def emit(self, record: logging.LogRecord) -> None:
+        self.records.append(record)
+
+    def messages(self) -> list[str]:
+        return [record.getMessage() for record in self.records]
+
+
+class RunningEdge:
+    """A live edge server on a daemon-thread event loop.
+
+    Use as a context manager; ``host``/``port`` are bound after entry.
+    ``run(coro)`` executes a coroutine on the server's loop (used to
+    call ``server.drain`` from blocking test code); ``sentry`` holds
+    any ERROR-level log records the server emitted.
+    """
+
+    def __init__(self, config: EdgeConfig | None = None) -> None:
+        self.config = config or EdgeConfig()
+        self.server: EdgeServer | None = None
+        self.sentry = LogSentry()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def __enter__(self) -> "RunningEdge":
+        logging.getLogger("repro.edge").addHandler(self.sentry)
+        self._thread = threading.Thread(
+            target=self._serve, name="edge-harness", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(START_TIMEOUT):
+            raise TimeoutError("edge server did not start")
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        try:
+            if self.server is not None and not self.server.draining:
+                self.run(self.server.stop(), timeout=START_TIMEOUT)
+        finally:
+            assert self._loop is not None
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            assert self._thread is not None
+            self._thread.join(timeout=30)
+            logging.getLogger("repro.edge").removeHandler(self.sentry)
+
+    def _serve(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            self.server = loop.run_until_complete(
+                EdgeServer(self.config).start()
+            )
+        except BaseException as exc:  # noqa: BLE001 — surfaced to __enter__
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        loop.run_forever()
+        # Drain any callbacks scheduled between stop() and here.
+        loop.run_until_complete(asyncio.sleep(0))
+        loop.close()
+
+    # -- helpers -----------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self.config.host
+
+    @property
+    def port(self) -> int:
+        assert self.server is not None
+        return self.server.port
+
+    def run(self, coro, *, timeout: float = 60.0):
+        """Run a coroutine on the server's loop from test code."""
+        assert self._loop is not None
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result(
+            timeout
+        )
+
+    def raw(self, data: bytes, *, timeout: float = 30.0) -> bytes:
+        """One raw TCP exchange: send ``data``, read to EOF or timeout.
+
+        The fuzzing primitive — no HTTP library in the way, so truncated
+        and malformed frames reach the server exactly as written.
+        """
+        with socket.create_connection((self.host, self.port), timeout=timeout) as sock:
+            sock.sendall(data)
+            sock.shutdown(socket.SHUT_WR)
+            chunks = []
+            try:
+                while True:
+                    chunk = sock.recv(65536)
+                    if not chunk:
+                        break
+                    chunks.append(chunk)
+            except socket.timeout:
+                pass
+        return b"".join(chunks)
+
+    def raw_keepalive(
+        self, payloads: list[bytes], *, timeout: float = 30.0
+    ) -> list[bytes]:
+        """Several requests down one keep-alive connection.
+
+        Returns one response-byte blob per request, split on complete
+        HTTP responses (content-length framing — ours always has it).
+        """
+        responses: list[bytes] = []
+        with socket.create_connection((self.host, self.port), timeout=timeout) as sock:
+            for payload in payloads:
+                sock.sendall(payload)
+                responses.append(_read_one_response(sock))
+        return responses
+
+
+def _read_one_response(sock: socket.socket) -> bytes:
+    """Read exactly one content-length framed HTTP response."""
+    buffer = b""
+    while b"\r\n\r\n" not in buffer:
+        chunk = sock.recv(65536)
+        if not chunk:
+            return buffer
+        buffer += chunk
+    head, _, rest = buffer.partition(b"\r\n\r\n")
+    length = 0
+    for line in head.split(b"\r\n")[1:]:
+        name, _, value = line.partition(b":")
+        if name.strip().lower() == b"content-length":
+            length = int(value.strip())
+    while len(rest) < length:
+        chunk = sock.recv(65536)
+        if not chunk:
+            break
+        rest += chunk
+    return head + b"\r\n\r\n" + rest[:length]
+
+
+def wait_for(predicate, *, timeout: float, interval: float = 0.05, what: str = "condition"):
+    """Poll ``predicate`` until it returns a truthy value."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(interval)
+    raise TimeoutError(f"timed out waiting for {what}")
